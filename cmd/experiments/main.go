@@ -1,0 +1,173 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section against the simulated testbed.
+//
+// Usage:
+//
+//	experiments                 # everything, paper budgets
+//	experiments -run table5     # one experiment
+//	experiments -fuzz 2h        # shrink the 24 h campaigns (faster)
+//
+// Figure data series are printed as CSV after the corresponding summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"zcover"
+	"zcover/internal/harness"
+	"zcover/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, fig12, trials, remediation")
+	fuzzBudget := fs.Duration("fuzz", 24*time.Hour, "fuzzing budget for the campaign experiments (paper: 24h)")
+	ablation := fs.Duration("ablation", time.Hour, "budget for the ablation study (paper: 1h)")
+	window := fs.Duration("window", 800*time.Second, "figure 12 plot window (paper: ~800s)")
+	outDir := fs.String("out", "", "also write figure CSV series into this directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	writeCSV := func(name, content string) error {
+		if *outDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*outDir, name), []byte(content), 0o644)
+	}
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if want("fig1") {
+		ran = true
+		fmt.Println(zcover.Fig1().String())
+	}
+	if want("fig5") {
+		ran = true
+		tbl, csv, err := zcover.Fig5()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
+		fmt.Println("fig5.csv:")
+		fmt.Println(csv.String())
+		if err := writeCSV("fig5.csv", csv.String()); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		ran = true
+		fmt.Println(zcover.Table2().String())
+	}
+	if want("table3") {
+		ran = true
+		tbl, _, err := zcover.Table3(*fuzzBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
+	}
+	if want("table4") {
+		ran = true
+		tbl, _, err := zcover.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
+	}
+	if want("table5") {
+		ran = true
+		tbl, _, err := zcover.Table5(*fuzzBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
+	}
+	if want("table6") {
+		ran = true
+		tbl, _, err := zcover.Table6(*ablation)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
+	}
+	if want("figs8-11") {
+		ran = true
+		views, err := zcover.Figs8to11()
+		if err != nil {
+			return err
+		}
+		for _, v := range views {
+			fmt.Println(v.String())
+		}
+	}
+	if want("remediation") {
+		ran = true
+		tbl, _, err := harness.Remediation(nil, *fuzzBudget)
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
+	}
+	if want("trials") {
+		ran = true
+		// "We conducted five 24-hour fuzzing trials for each controller."
+		for _, idx := range []string{"D1", "D2", "D3", "D4", "D5", "D6", "D7"} {
+			sum, err := harness.RunTrials(idx, 5, *fuzzBudget, 300)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s: per-trial %v, union %d, stable %v\n",
+				sum.Device, sum.PerTrial, sum.Union, sum.Stable)
+		}
+		fmt.Println()
+	}
+	if want("fig12") {
+		ran = true
+		csvs, series, err := zcover.Fig12(*fuzzBudget, *window)
+		if err != nil {
+			return err
+		}
+		for i, s := range series {
+			fmt.Printf("Figure 12(%c): %s — %d unique vulnerabilities, first within %s\n",
+				'a'+i, s.Index, len(s.Discoveries), s.Discoveries[0].Elapsed.Round(time.Second))
+			chart := report.Chart{
+				Title:  fmt.Sprintf("packets over time, %s (first %s)", s.Index, *window),
+				XLabel: "time", YLabel: "test packets",
+			}
+			for _, sample := range s.Samples {
+				chart.Points = append(chart.Points, report.Point{X: sample.Elapsed, Y: sample.Packets})
+			}
+			for _, f := range s.Discoveries {
+				if f.Elapsed <= *window {
+					chart.Points = append(chart.Points, report.Point{X: f.Elapsed, Y: f.Packets, Mark: true})
+				}
+			}
+			fmt.Println(chart.String())
+			name := fmt.Sprintf("fig12_%s.csv", strings.ToLower(s.Index))
+			fmt.Printf("%s:\n%s\n", name, csvs[i].String())
+			if err := writeCSV(name, csvs[i].String()); err != nil {
+				return err
+			}
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *which)
+	}
+	return nil
+}

@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+func TestRunCheapExperiments(t *testing.T) {
+	for _, which := range []string{"fig1", "fig5", "table2", "table4", "figs8-11"} {
+		if err := run([]string{"-run", which}); err != nil {
+			t.Fatalf("%s: %v", which, err)
+		}
+	}
+}
+
+func TestRunCampaignExperimentsShortBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign experiments; run without -short")
+	}
+	for _, args := range [][]string{
+		{"-run", "table6", "-ablation", "30m"},
+		{"-run", "fig12", "-fuzz", "30m", "-window", "400s"},
+	} {
+		if err := run(args); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "table99"}); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}

@@ -1,0 +1,121 @@
+// Command zcover runs a complete ZCover campaign — fingerprinting,
+// discovery, and position-sensitive fuzzing — against one emulated
+// testbed controller and prints the findings.
+//
+// Usage:
+//
+//	zcover -target D4 -strategy full -duration 24h -seed 1
+//
+// Targets are the paper's Table II controllers (D1..D7). Strategies are
+// full (default), beta (known command classes only), and gamma (random).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zcover"
+	"zcover/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "zcover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("zcover", flag.ContinueOnError)
+	target := fs.String("target", "D1", "testbed controller to attack (D1..D7)")
+	strategy := fs.String("strategy", "full", "fuzzing strategy: full, beta, or gamma")
+	duration := fs.Duration("duration", time.Hour, "fuzzing budget in simulated time")
+	seed := fs.Int64("seed", 1, "deterministic campaign seed")
+	verbose := fs.Bool("v", false, "stream findings live as they are discovered")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var strat zcover.Strategy
+	switch *strategy {
+	case "full":
+		strat = zcover.StrategyFull
+	case "beta":
+		strat = zcover.StrategyKnownOnly
+	case "gamma":
+		strat = zcover.StrategyRandom
+	default:
+		return fmt.Errorf("unknown strategy %q (want full, beta, or gamma)", *strategy)
+	}
+
+	tb, err := zcover.NewTestbed(*target, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ZCover %s — target %s (%s %s), strategy %s, budget %s\n\n",
+		zcover.Version, *target, tb.Controller.Profile().Brand,
+		tb.Controller.Profile().Model, *strategy, *duration)
+
+	var onFinding func(zcover.Finding)
+	if *verbose {
+		onFinding = func(f zcover.Finding) {
+			fmt.Printf("  [%8s] pkt %-6d %s\n", f.Elapsed.Round(time.Second), f.Packets, f.Signature)
+		}
+	}
+	c, err := zcover.RunObserved(tb, strat, *duration, *seed, onFinding)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Phase 1 — known properties fingerprinting")
+	fmt.Printf("  home ID      %s\n", c.Fingerprint.Home)
+	fmt.Printf("  controller   node %s\n", c.Fingerprint.Controller)
+	fmt.Printf("  nodes seen   %v\n", c.Fingerprint.Nodes)
+	fmt.Printf("  listed       %d command classes\n\n", len(c.Fingerprint.Listed))
+
+	if strat == zcover.StrategyFull {
+		fmt.Println("Phase 2 — unknown properties discovery")
+		fmt.Printf("  unlisted spec candidates  %d\n", len(c.Discovery.UnlistedSpec))
+		fmt.Printf("  proprietary confirmed     %d\n", len(c.Discovery.HiddenConfirmed))
+		fmt.Printf("  unknown CMDCLs            %d\n", c.Discovery.UnknownCount())
+		fmt.Printf("  validated commands        %d\n", len(c.Discovery.ConfirmedCommands))
+		fmt.Printf("  prioritized queue         %d classes\n\n", len(c.Discovery.Prioritized))
+	}
+
+	fmt.Println("Phase 3 — position-sensitive fuzzing")
+	fmt.Printf("  packets sent  %d\n", c.Fuzz.PacketsSent)
+	fmt.Printf("  elapsed       %s (simulated)\n", c.Fuzz.Elapsed.Round(time.Second))
+	fmt.Printf("  duplicates    %d\n\n", c.Fuzz.Duplicates)
+
+	tbl := &report.Table{
+		Title:   fmt.Sprintf("Unique vulnerabilities (%d)", len(c.Fuzz.Findings)),
+		Headers: []string{"#", "Elapsed", "Packet", "Signature", "Outage", "Paper bug", "Trigger payload"},
+	}
+	for i, f := range c.Fuzz.Findings {
+		ref := "-"
+		if bug, ok := findBug(f.Signature); ok {
+			ref = fmt.Sprintf("Bug %02d (%s)", bug.ID, bug.Confirmed)
+		}
+		outage := "-"
+		if f.MeasuredOutage > 0 {
+			outage = f.MeasuredOutage.Round(time.Second).String()
+		}
+		tbl.AddRow(fmt.Sprintf("%d", i+1), f.Elapsed.Round(time.Second).String(),
+			fmt.Sprintf("%d", f.Packets), f.Signature, outage, ref,
+			fmt.Sprintf("% X", f.TriggerPayload))
+	}
+	fmt.Print(tbl.String())
+	return nil
+}
+
+// findBug resolves a signature against the paper catalogue.
+func findBug(sig string) (zcover.PaperBug, bool) {
+	for _, b := range zcover.PaperBugs() {
+		if b.Signature == sig {
+			return b, true
+		}
+	}
+	return zcover.PaperBug{}, false
+}

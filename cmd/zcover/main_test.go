@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunShortCampaign(t *testing.T) {
+	if err := run([]string{"-target", "D1", "-strategy", "full", "-duration", "20m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBetaAndGamma(t *testing.T) {
+	for _, strat := range []string{"beta", "gamma"} {
+		if err := run([]string{"-target", "D3", "-strategy", strat, "-duration", "5m"}); err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	if err := run([]string{"-strategy", "sideways"}); err == nil {
+		t.Fatal("accepted unknown strategy")
+	}
+	if err := run([]string{"-target", "D9"}); err == nil {
+		t.Fatal("accepted unknown target")
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHuntThenReplay(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "bugs.jsonl")
+	if err := run([]string{"-hunt", "-target", "D1", "-duration", "20m", "-out", log}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-log", log}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCatalogReplay(t *testing.T) {
+	if err := run([]string{"-catalog"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRequiresAMode(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("accepted no mode")
+	}
+	if err := run([]string{"-log", "/nonexistent/x.jsonl"}); err == nil {
+		t.Fatal("accepted missing log file")
+	}
+}
+
+func TestHuntMinimizeReplay(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "bugs.jsonl")
+	if err := run([]string{"-hunt", "-target", "D4", "-duration", "15m", "-out", log}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-log", log, "-minimize"}); err != nil {
+		t.Fatal(err)
+	}
+}

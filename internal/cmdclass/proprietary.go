@@ -1,0 +1,160 @@
+package cmdclass
+
+// This file defines the two proprietary command classes that are NOT part of
+// the public Z-Wave specification. The paper's systematic validation testing
+// (§III-C2) discovered them by sweeping CMDCL values from 0x00 upward and
+// observing which unlisted values the controller processed: 0x01, the
+// Z-Wave protocol's own network-management class (normally reserved for
+// chipset-internal use and documented only under NDA), and 0x02, a
+// manufacturer diagnostic class. Seven of the paper's fifteen zero-day
+// vulnerabilities live in CMDCL 0x01 (Table III).
+
+// zwaveProtocolClass is the hidden CMDCL 0x01 definition. Command names
+// follow the Z-Wave protocol command set; CMD 0x0D (NEW_NODE_REGISTERED)
+// writes directly into the controller's node table, which is why it is the
+// vector for bugs 01–04 and 12.
+var zwaveProtocolClass = &Class{
+	ID:       ClassZWaveProtocol,
+	Name:     "ZWAVE_PROTOCOL",
+	Version:  1,
+	Category: CategoryNetwork,
+	Scope:    ScopeController,
+	Commands: []Command{
+		{ID: 0x01, Name: "NODE_INFO", Dir: DirSupporting, Params: []Param{
+			{Name: "Capability", Kind: ParamBitmask},
+			{Name: "Security", Kind: ParamBitmask},
+			{Name: "Properties", Kind: ParamBitmask},
+			{Name: "BasicType", Kind: ParamByte},
+			{Name: "GenericType", Kind: ParamByte},
+			{Name: "SpecificType", Kind: ParamByte},
+			{Name: "CommandClasses", Kind: ParamVariadic},
+		}},
+		{ID: 0x02, Name: "REQUEST_NODE_INFO", Dir: DirControlling, Params: []Param{
+			{Name: "NodeID", Kind: ParamNodeID},
+		}},
+		{ID: 0x03, Name: "ASSIGN_IDS", Dir: DirControlling, Params: []Param{
+			{Name: "NodeID", Kind: ParamNodeID},
+			{Name: "HomeID1", Kind: ParamByte},
+			{Name: "HomeID2", Kind: ParamByte},
+			{Name: "HomeID3", Kind: ParamByte},
+			{Name: "HomeID4", Kind: ParamByte},
+		}},
+		{ID: 0x04, Name: "FIND_NODES_IN_RANGE", Dir: DirControlling, Params: []Param{
+			{Name: "NodeMaskLength", Kind: ParamRange, Min: 0, Max: 29},
+			{Name: "NodeMask", Kind: ParamVariadic},
+		}},
+		{ID: 0x05, Name: "GET_NODES_IN_RANGE", Dir: DirControlling},
+		{ID: 0x06, Name: "RANGE_INFO", Dir: DirSupporting, Params: []Param{
+			{Name: "NodeMaskLength", Kind: ParamRange, Min: 0, Max: 29},
+			{Name: "NodeMask", Kind: ParamVariadic},
+		}},
+		{ID: 0x07, Name: "COMMAND_COMPLETE", Dir: DirSupporting, Params: []Param{
+			{Name: "SequenceNumber", Kind: ParamByte},
+		}},
+		{ID: 0x08, Name: "TRANSFER_PRESENTATION", Dir: DirControlling, Params: []Param{
+			{Name: "Options", Kind: ParamBitmask},
+		}},
+		{ID: 0x09, Name: "TRANSFER_NODE_INFO", Dir: DirControlling, Params: []Param{
+			{Name: "SequenceNumber", Kind: ParamByte},
+			{Name: "NodeID", Kind: ParamNodeID},
+			{Name: "NodeInfo", Kind: ParamVariadic},
+		}},
+		{ID: 0x0A, Name: "TRANSFER_RANGE_INFO", Dir: DirControlling, Params: []Param{
+			{Name: "SequenceNumber", Kind: ParamByte},
+			{Name: "NodeID", Kind: ParamNodeID},
+			{Name: "NodeMask", Kind: ParamVariadic},
+		}},
+		{ID: 0x0B, Name: "TRANSFER_END", Dir: DirControlling, Params: []Param{
+			{Name: "Status", Kind: ParamEnum, Values: []byte{0x00, 0x01, 0x02}},
+		}},
+		{ID: 0x0C, Name: "ASSIGN_RETURN_ROUTE", Dir: DirControlling, Params: []Param{
+			{Name: "DestinationNodeID", Kind: ParamNodeID},
+			{Name: "RouteLength", Kind: ParamRange, Min: 0, Max: 4},
+			{Name: "Repeaters", Kind: ParamVariadic},
+		}},
+		{ID: 0x0D, Name: "NEW_NODE_REGISTERED", Dir: DirControlling, Params: []Param{
+			{Name: "NodeID", Kind: ParamNodeID},
+			{Name: "Capability", Kind: ParamBitmask},
+			{Name: "Security", Kind: ParamBitmask},
+			{Name: "Properties", Kind: ParamBitmask},
+			{Name: "BasicType", Kind: ParamByte},
+			{Name: "GenericType", Kind: ParamByte},
+			{Name: "SpecificType", Kind: ParamByte},
+			{Name: "CommandClasses", Kind: ParamVariadic},
+		}},
+		{ID: 0x0E, Name: "NEW_RANGE_REGISTERED", Dir: DirControlling, Params: []Param{
+			{Name: "NodeID", Kind: ParamNodeID},
+			{Name: "NodeMaskLength", Kind: ParamRange, Min: 0, Max: 29},
+			{Name: "NodeMask", Kind: ParamVariadic},
+		}},
+		{ID: 0x0F, Name: "TRANSFER_NEW_PRIMARY_COMPLETE", Dir: DirControlling, Params: []Param{
+			{Name: "GenericType", Kind: ParamByte},
+		}},
+		{ID: 0x10, Name: "AUTOMATIC_CONTROLLER_UPDATE_START", Dir: DirControlling},
+		{ID: 0x11, Name: "SUC_NODE_ID", Dir: DirControlling, Params: []Param{
+			{Name: "NodeID", Kind: ParamNodeID},
+			{Name: "SUCCapability", Kind: ParamBitmask},
+		}},
+		{ID: 0x12, Name: "SET_SUC", Dir: DirControlling, Params: []Param{
+			{Name: "Enable", Kind: ParamEnum, Values: []byte{0x00, 0x01}},
+			{Name: "SUCCapability", Kind: ParamBitmask},
+		}},
+		{ID: 0x13, Name: "SET_SUC_ACK", Dir: DirSupporting, Params: []Param{
+			{Name: "Result", Kind: ParamEnum, Values: []byte{0x00, 0x01}},
+			{Name: "SUCCapability", Kind: ParamBitmask},
+		}},
+		{ID: 0x14, Name: "ASSIGN_SUC_RETURN_ROUTE", Dir: DirControlling, Params: []Param{
+			{Name: "DestinationNodeID", Kind: ParamNodeID},
+			{Name: "RouteLength", Kind: ParamRange, Min: 0, Max: 4},
+			{Name: "Repeaters", Kind: ParamVariadic},
+		}},
+		{ID: 0x15, Name: "STATIC_ROUTE_REQUEST", Dir: DirControlling, Params: []Param{
+			{Name: "DestinationNodeID", Kind: ParamNodeID},
+		}},
+		{ID: 0x16, Name: "LOST", Dir: DirSupporting, Params: []Param{
+			{Name: "NodeID", Kind: ParamNodeID},
+		}},
+		{ID: 0x17, Name: "ACCEPT_LOST", Dir: DirControlling, Params: []Param{
+			{Name: "Accepted", Kind: ParamEnum, Values: []byte{0x00, 0x01}},
+		}},
+	},
+}
+
+// proprietaryMfgClass is the hidden CMDCL 0x02 definition: a small
+// manufacturer diagnostic class, also absent from the public spec.
+var proprietaryMfgClass = &Class{
+	ID:       ClassProprietaryMfg,
+	Name:     "PROPRIETARY_MFG_DIAGNOSTIC",
+	Version:  1,
+	Category: CategoryManagement,
+	Scope:    ScopeController,
+	Commands: []Command{
+		{ID: 0x01, Name: "DIAG_GET", Dir: DirControlling, Params: []Param{
+			{Name: "DiagnosticID", Kind: ParamByte},
+		}},
+		{ID: 0x02, Name: "DIAG_REPORT", Dir: DirSupporting, Params: []Param{
+			{Name: "DiagnosticID", Kind: ParamByte},
+			{Name: "Data", Kind: ParamVariadic},
+		}},
+		{ID: 0x03, Name: "SELF_TEST", Dir: DirControlling, Params: []Param{
+			{Name: "TestID", Kind: ParamRange, Min: 0, Max: 7},
+		}},
+	},
+}
+
+// HiddenCandidates returns the proprietary command-class definitions that
+// validation testing can confirm on a target controller. They are not part
+// of any Registry built from the public spec.
+func HiddenCandidates() []*Class {
+	return []*Class{zwaveProtocolClass, proprietaryMfgClass}
+}
+
+// HiddenClass returns the proprietary class definition for the given ID.
+func HiddenClass(id ClassID) (*Class, bool) {
+	for _, c := range HiddenCandidates() {
+		if c.ID == id {
+			return c, true
+		}
+	}
+	return nil, false
+}

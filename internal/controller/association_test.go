@@ -1,0 +1,53 @@
+package controller
+
+import "testing"
+
+func TestAssociationSetGetRemove(t *testing.T) {
+	r := newRig(t, "D1")
+	r.inject(t, []byte{0x85, 0x01, 0x01, 0x03}) // add node 3 to lifeline
+	r.inject(t, []byte{0x85, 0x01, 0x01, 0x02})
+	r.inject(t, []byte{0x85, 0x01, 0x01, 0x02}) // duplicate ignored
+	if got := r.ctrl.Associations(1); len(got) != 2 {
+		t.Fatalf("lifeline = %v", got)
+	}
+	r.inject(t, []byte{0x85, 0x02, 0x01}) // GET
+	last := r.replies[len(r.replies)-1]
+	if last[0] != 0x85 || last[1] != 0x03 || len(last) != 7 {
+		t.Fatalf("report = % X", last)
+	}
+	r.inject(t, []byte{0x85, 0x04, 0x01, 0x03}) // remove node 3
+	if got := r.ctrl.Associations(1); len(got) != 1 || got[0] != 0x02 {
+		t.Fatalf("after remove = %v", got)
+	}
+}
+
+func TestAssociationValidation(t *testing.T) {
+	r := newRig(t, "D2")
+	r.inject(t, []byte{0x85, 0x01, 0x09, 0x03}) // group out of range
+	r.inject(t, []byte{0x85, 0x01, 0x01, 0xFF}) // broadcast member
+	if got := r.ctrl.Associations(9); len(got) != 0 {
+		t.Fatalf("invalid group stored: %v", got)
+	}
+	if got := r.ctrl.Associations(1); len(got) != 0 {
+		t.Fatalf("broadcast member stored: %v", got)
+	}
+}
+
+func TestAssociationRemoveFromAllGroups(t *testing.T) {
+	r := newRig(t, "D3")
+	r.inject(t, []byte{0x85, 0x01, 0x01, 0x02})
+	r.inject(t, []byte{0x85, 0x01, 0x02, 0x02})
+	r.inject(t, []byte{0x85, 0x04, 0x00, 0x02}) // group 0: everywhere
+	if len(r.ctrl.Associations(1)) != 0 || len(r.ctrl.Associations(2)) != 0 {
+		t.Fatal("remove-from-all left members")
+	}
+}
+
+func TestAssociationResetClears(t *testing.T) {
+	r := newRig(t, "D4")
+	r.inject(t, []byte{0x85, 0x01, 0x01, 0x02})
+	r.ctrl.Reset()
+	if len(r.ctrl.Associations(1)) != 0 {
+		t.Fatal("reset kept associations")
+	}
+}

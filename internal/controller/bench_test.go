@@ -1,0 +1,32 @@
+package controller
+
+import (
+	"testing"
+
+	"zcover/internal/device"
+	"zcover/internal/oracle"
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+	"zcover/internal/vtime"
+)
+
+// BenchmarkDispatch measures the controller's receive path end to end
+// (frame decode, bug-model evaluation, responder lookup, reply).
+func BenchmarkDispatch(b *testing.B) {
+	profile, _ := ProfileByIndex("D1")
+	m := radio.NewMedium(vtime.NewSimClock())
+	ctrl := New(m, radio.RegionUS, profile, &oracle.Bus{})
+	_ = ctrl
+	attacker := device.NewNode(device.Config{
+		Medium: m, Region: radio.RegionUS, Home: profile.Home, ID: 0x0F, Name: "attacker",
+	})
+	raw := protocol.NewDataFrame(profile.Home, 0x0F, 0x01, []byte{0x86, 0x11}).MustEncode()
+	_ = attacker
+	trx := m.Attach("raw", radio.RegionUS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := trx.Transmit(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package controller
+
+import (
+	"testing"
+
+	"zcover/internal/oracle"
+	"zcover/internal/protocol"
+)
+
+// crc16Wrap builds a CRC_16_ENCAP payload around an inner command.
+func crc16Wrap(inner []byte) []byte {
+	whole := append([]byte{0x56, 0x01}, inner...)
+	crc := protocol.CRC16(whole)
+	return append(whole, byte(crc>>8), byte(crc))
+}
+
+func TestCRC16EncapReachesInnerResponder(t *testing.T) {
+	r := newRig(t, "D1")
+	r.inject(t, crc16Wrap([]byte{0x86, 0x11})) // VERSION_GET inside CRC16
+	if len(r.replies) != 1 || r.replies[0][0] != 0x86 || r.replies[0][1] != 0x12 {
+		t.Fatalf("replies = %v", r.replies)
+	}
+}
+
+func TestCRC16EncapReachesVulnerableParser(t *testing.T) {
+	// An encapsulated attack payload must hit the same buggy code path as
+	// a bare one — firmware unwraps before dispatch.
+	r := newRig(t, "D2")
+	r.inject(t, crc16Wrap([]byte{0x01, 0x0D, 0x02}))
+	if k, _ := r.lastEventKind(); k != oracle.NodeRemoved {
+		t.Fatalf("events = %v", r.events)
+	}
+}
+
+func TestCRC16EncapBadChecksumDropped(t *testing.T) {
+	r := newRig(t, "D1")
+	payload := crc16Wrap([]byte{0x86, 0x11})
+	payload[len(payload)-1] ^= 0xFF
+	r.inject(t, payload)
+	if len(r.replies) != 0 || len(r.events) != 0 {
+		t.Fatal("corrupted encapsulation was processed")
+	}
+}
+
+func TestMultiCmdEncapDispatchesAllElements(t *testing.T) {
+	r := newRig(t, "D1")
+	// Two inner commands: VERSION_GET and MANUFACTURER_SPECIFIC_GET.
+	payload := []byte{0x8F, 0x01, 0x02,
+		0x02, 0x86, 0x11,
+		0x02, 0x72, 0x04,
+	}
+	r.inject(t, payload)
+	if len(r.replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(r.replies))
+	}
+}
+
+func TestMultiCmdEncapMalformedLengthStops(t *testing.T) {
+	r := newRig(t, "D1")
+	payload := []byte{0x8F, 0x01, 0x02,
+		0x02, 0x86, 0x11,
+		0x7F, 0x72, // claims 127 bytes, only 1 present
+	}
+	r.inject(t, payload)
+	if len(r.replies) != 1 {
+		t.Fatalf("replies = %d, want 1 (first element only)", len(r.replies))
+	}
+}
+
+func TestSupervisionEncapConfirmsInnerCommand(t *testing.T) {
+	r := newRig(t, "D4")
+	payload := []byte{0x6C, 0x01, 0x2A, 0x02, 0x86, 0x11}
+	r.inject(t, payload)
+	if len(r.replies) != 2 {
+		t.Fatalf("replies = %d, want inner response + supervision report", len(r.replies))
+	}
+	var report []byte
+	for _, reply := range r.replies {
+		if reply[0] == 0x6C {
+			report = reply
+		}
+	}
+	if report == nil || report[1] != 0x02 || report[2] != 0x2A {
+		t.Fatalf("supervision report = % X", report)
+	}
+}
+
+func TestSupervisionWithoutInnerStillAnswered(t *testing.T) {
+	// The validation probe shape: SUPERVISION_GET with zero encapsulated
+	// length must still elicit the canned report (53-command invariant).
+	r := newRig(t, "D1")
+	r.inject(t, []byte{0x6C, 0x01, 0x00, 0x00})
+	if len(r.replies) != 1 || r.replies[0][0] != 0x6C {
+		t.Fatalf("replies = %v", r.replies)
+	}
+}
+
+func TestEncapDepthBounded(t *testing.T) {
+	r := newRig(t, "D1")
+	// Nest MULTI_CMD four deep around a node-removal attack; the firmware
+	// unwraps at most three levels, so the innermost command is never
+	// dispatched.
+	inner := []byte{0x01, 0x0D, 0x02}
+	for i := 0; i < 4; i++ {
+		inner = append([]byte{0x8F, 0x01, 0x01, byte(len(inner))}, inner...)
+	}
+	r.inject(t, inner)
+	if len(r.events) != 0 {
+		t.Fatalf("depth-4 encapsulation reached the parser: %v", r.events)
+	}
+	if _, ok := r.ctrl.Table().Get(0x02); !ok {
+		t.Fatal("node removed through over-deep encapsulation")
+	}
+	// Three levels is within the firmware's bound.
+	inner = []byte{0x01, 0x0D, 0x02}
+	for i := 0; i < 3; i++ {
+		inner = append([]byte{0x8F, 0x01, 0x01, byte(len(inner))}, inner...)
+	}
+	r.inject(t, inner)
+	if k, _ := r.lastEventKind(); k != oracle.NodeRemoved {
+		t.Fatalf("depth-3 encapsulation not processed: %v", r.events)
+	}
+}

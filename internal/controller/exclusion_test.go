@@ -1,0 +1,80 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/device"
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+)
+
+func TestOverTheAirExclusion(t *testing.T) {
+	r := newRig(t, "D1")
+	// Stand up a live switch matching table entry 3.
+	sw := device.NewBinarySwitch(device.Config{
+		Medium: r.medium, Region: radio.RegionUS,
+		Home: r.ctrl.Profile().Home, ID: 0x03, Name: "live-switch",
+	}, 0x01)
+
+	r.ctrl.RemoveNodeMode(time.Minute)
+	if err := device.LeaveNetwork(sw.Node(), sw.Identity()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.ctrl.Table().Get(0x03); ok {
+		t.Fatal("node 3 still in the table after exclusion")
+	}
+	if sw.Node().ID() != protocol.NodeUnassigned {
+		t.Fatalf("device ID after exclusion = %s, want unassigned", sw.Node().ID())
+	}
+}
+
+func TestExclusionIgnoresForeignDevices(t *testing.T) {
+	r := newRig(t, "D2")
+	foreign := device.NewBinarySwitch(device.Config{
+		Medium: r.medium, Region: radio.RegionUS,
+		Home: 0xFACECAFE, ID: 0x09, Name: "neighbour",
+	}, 0x01)
+	r.ctrl.RemoveNodeMode(time.Minute)
+	if err := device.LeaveNetwork(foreign.Node(), foreign.Identity()); err != nil {
+		t.Fatal(err)
+	}
+	// Node 9 was never ours; table unchanged and mode still armed.
+	if r.ctrl.Table().Len() != 3 {
+		t.Fatalf("table = %v", r.ctrl.Table().IDs())
+	}
+}
+
+func TestExclusionModeExpires(t *testing.T) {
+	r := newRig(t, "D3")
+	r.ctrl.RemoveNodeMode(10 * time.Second)
+	r.clock.Advance(11 * time.Second)
+	sw := device.NewBinarySwitch(device.Config{
+		Medium: r.medium, Region: radio.RegionUS,
+		Home: r.ctrl.Profile().Home, ID: 0x03, Name: "late",
+	}, 0x01)
+	if err := device.LeaveNetwork(sw.Node(), sw.Identity()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.ctrl.Table().Get(0x03); !ok {
+		t.Fatal("device excluded after the window expired")
+	}
+}
+
+func TestExclusionClearsSessionsAndWakeup(t *testing.T) {
+	r := newRig(t, "D4")
+	lock := device.NewDoorLock(device.Config{
+		Medium: r.medium, Region: radio.RegionUS,
+		Home: r.ctrl.Profile().Home, ID: 0x02, Name: "live-lock",
+	}, 0x01)
+	r.ctrl.RemoveNodeMode(time.Minute)
+	if err := device.LeaveNetwork(lock.Node(), lock.Identity()); err != nil {
+		t.Fatal(err)
+	}
+	if r.ctrl.WakeupInterval(0x02) != 0 {
+		t.Fatal("wakeup store not cleaned on legitimate exclusion")
+	}
+	if _, ok := r.ctrl.Session(0x02); ok {
+		t.Fatal("S2 session survived exclusion")
+	}
+}

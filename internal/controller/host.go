@@ -1,0 +1,59 @@
+package controller
+
+import "strconv"
+
+// HostKind identifies the host software attached to a controller: USB-stick
+// controllers (D1–D5) are driven by the Z-Wave PC Controller program on a
+// Windows laptop; the Samsung hubs (D6, D7) are driven by the SmartThings
+// cloud and smartphone app (§IV "Experiment environment").
+type HostKind int
+
+// Host kinds. Enum starts at 1.
+const (
+	// HostPCProgram is the Z-Wave PC Controller desktop program.
+	HostPCProgram HostKind = iota + 1
+	// HostSmartApp is the SmartThings cloud/app pipeline.
+	HostSmartApp
+)
+
+// String implements fmt.Stringer.
+func (k HostKind) String() string {
+	switch k {
+	case HostPCProgram:
+		return "Z-Wave PC Controller program"
+	case HostSmartApp:
+		return "SmartThings app"
+	default:
+		return "HostKind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Host models the host software's health, which bugs 05, 06, and 13
+// degrade. A crashed host restarts only manually (Restart), matching the
+// "Infinite" durations of Table III.
+type Host struct {
+	kind    HostKind
+	crashed bool
+	wedged  bool
+}
+
+// NewHost attaches host software of the given kind.
+func NewHost(kind HostKind) *Host { return &Host{kind: kind} }
+
+// Kind reports the host software kind.
+func (h *Host) Kind() HostKind { return h.kind }
+
+// Crash models the host program terminating abnormally (bug 06).
+func (h *Host) Crash() { h.crashed = true }
+
+// Wedge models the host program hanging without terminating (bugs 05, 13).
+func (h *Host) Wedge() { h.wedged = true }
+
+// Healthy reports whether the host can currently serve the user.
+func (h *Host) Healthy() bool { return !h.crashed && !h.wedged }
+
+// Crashed reports whether the host program terminated.
+func (h *Host) Crashed() bool { return h.crashed }
+
+// Restart models the user manually restarting the host software.
+func (h *Host) Restart() { h.crashed, h.wedged = false, false }

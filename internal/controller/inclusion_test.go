@@ -1,0 +1,161 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/device"
+	"zcover/internal/radio"
+	"zcover/internal/serialapi"
+)
+
+// newFactorySwitch attaches a factory-fresh switch (unassigned node, its
+// own out-of-the-box home ID) to the rig's air.
+func newFactorySwitch(r *testRig) *device.BinarySwitch {
+	return device.NewBinarySwitch(device.Config{
+		Medium: r.medium, Region: radio.RegionUS,
+		Home: 0xFACECAFE, ID: 0x00, Name: "factory-switch",
+	}, 0x01)
+}
+
+func TestOverTheAirInclusion(t *testing.T) {
+	r := newRig(t, "D1")
+	sw := newFactorySwitch(r)
+
+	// Host arms add-node mode; user presses the device's button.
+	r.ctrl.AddNodeMode(0)
+	if err := sw.Join(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The device adopted the network identity the controller assigned.
+	if sw.Node().Home() != r.ctrl.Profile().Home {
+		t.Fatalf("device home = %s, want %s", sw.Node().Home(), r.ctrl.Profile().Home)
+	}
+	newID := sw.Node().ID()
+	if newID != 4 { // 1 controller + 2 slaves already present
+		t.Fatalf("assigned node ID %s, want 4", newID)
+	}
+	if sw.Node().LearnMode() {
+		t.Fatal("device still in learn mode after inclusion")
+	}
+	if r.ctrl.LastIncluded() != newID {
+		t.Fatalf("controller recorded %s", r.ctrl.LastIncluded())
+	}
+
+	// The controller's table has the new record with the advertised types.
+	rec, ok := r.ctrl.Table().Get(newID)
+	if !ok {
+		t.Fatal("new node missing from table")
+	}
+	if rec.Generic != device.GenericTypeSwitchBinary {
+		t.Fatalf("record = %+v", rec)
+	}
+	if len(rec.Classes) != len(sw.Identity().Classes) {
+		t.Fatalf("record classes = %v", rec.Classes)
+	}
+
+	// And the device is controllable on its new identity.
+	if err := r.ctrl.Node().Send(newID, []byte{0x25, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if !sw.On() {
+		t.Fatal("included switch not controllable")
+	}
+}
+
+func TestInclusionRequiresArmedMode(t *testing.T) {
+	r := newRig(t, "D2")
+	sw := newFactorySwitch(r)
+	if err := sw.Join(); err != nil { // controller NOT in add-node mode
+		t.Fatal(err)
+	}
+	if sw.Node().Home() == r.ctrl.Profile().Home {
+		t.Fatal("device joined without add-node mode")
+	}
+	if r.ctrl.Table().Len() != 3 {
+		t.Fatalf("table grew: %v", r.ctrl.Table().IDs())
+	}
+}
+
+func TestInclusionModeExpires(t *testing.T) {
+	r := newRig(t, "D3")
+	r.ctrl.AddNodeMode(30 * time.Second)
+	r.clock.Advance(31 * time.Second)
+	sw := newFactorySwitch(r)
+	if err := sw.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Node().Home() == r.ctrl.Profile().Home {
+		t.Fatal("device joined after the window expired")
+	}
+}
+
+func TestInclusionSingleJoinPerArming(t *testing.T) {
+	r := newRig(t, "D4")
+	r.ctrl.AddNodeMode(time.Minute)
+	first := newFactorySwitch(r)
+	if err := first.Join(); err != nil {
+		t.Fatal(err)
+	}
+	second := newFactorySwitch(r)
+	if err := second.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if second.Node().Home() == r.ctrl.Profile().Home {
+		t.Fatal("second device joined on a single arming")
+	}
+	if r.ctrl.Table().Len() != 4 {
+		t.Fatalf("table = %v", r.ctrl.Table().IDs())
+	}
+}
+
+func TestInclusionViaSerialAPI(t *testing.T) {
+	r := newRig(t, "D5")
+	pc := serialapi.NewPCController(r.ctrl)
+	if _, err := serialapi.NewClient(r.ctrl).Call(serialapi.FuncAddNodeToNetwork, []byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	sw := newFactorySwitch(r)
+	if err := sw.Join(); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := pc.NodeIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("PC controller sees %v", ids)
+	}
+
+	// Stop request disarms a fresh arming.
+	if _, err := serialapi.NewClient(r.ctrl).Call(serialapi.FuncAddNodeToNetwork, []byte{0x01}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := serialapi.NewClient(r.ctrl).Call(serialapi.FuncAddNodeToNetwork, []byte{0x05}); err != nil {
+		t.Fatal(err)
+	}
+	late := newFactorySwitch(r)
+	if err := late.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if late.Node().Home() == r.ctrl.Profile().Home {
+		t.Fatal("device joined after stop")
+	}
+}
+
+func TestInclusionIgnoresMalformedAssignment(t *testing.T) {
+	r := newRig(t, "D1")
+	sw := newFactorySwitch(r)
+	sw.Node().SetLearnMode(true)
+	// A spoofed broadcast assignment with an illegal node ID must not be
+	// adopted (the device stays in learn mode).
+	if err := r.attacker.Send(0xFF, device.AssignIDsPayload(0xFF, 0x12345678)); err == nil {
+		// dst 0xFF is the broadcast; Send takes the dst as first arg —
+		// reaching here means the frame went out; the device must have
+		// ignored it.
+		if !sw.Node().LearnMode() {
+			t.Fatal("device adopted a malformed assignment")
+		}
+	}
+}

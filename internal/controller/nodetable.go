@@ -1,0 +1,121 @@
+// Package controller emulates the Z-Wave controllers of the paper's
+// testbed (devices D1–D7 of Table II). Each controller model combines:
+//
+//   - ordinary firmware behaviour: home-ID filtering, MAC acks, NIF
+//     responses, a node table (the "controller's memory" of Figs 8–11),
+//     S2 sessions with paired slaves, and application responders for the
+//     commands the firmware genuinely implements;
+//   - the paper's fifteen vulnerability models (Table III), implemented as
+//     buggy code paths keyed by CMDCL, CMD, parameter semantics, and
+//     encapsulation state; and
+//   - the legacy MAC-layer parsing one-days that VFuzz finds (Table V).
+//
+// The models are black-box from the fuzzer's point of view: everything
+// observable goes through the radio or the oracle bus (the stand-in for
+// the human watching the PC Controller program and the SmartThings app).
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+)
+
+// NodeRecord is one entry of the controller's node table — the in-memory
+// device database the CMDCL 0x01 attacks tamper with.
+type NodeRecord struct {
+	// ID is the node ID.
+	ID protocol.NodeID
+	// Basic, Generic, Specific are the stored device-type bytes.
+	Basic, Generic, Specific byte
+	// Capability and Security are the stored NIF flag bytes.
+	Capability, Security byte
+	// WakeupInterval is the stored wake-up interval for sleeping nodes
+	// (zero when not applicable).
+	WakeupInterval time.Duration
+	// Classes is the stored supported-class list.
+	Classes []cmdclass.ClassID
+}
+
+// clone deep-copies the record.
+func (r NodeRecord) clone() NodeRecord {
+	out := r
+	out.Classes = append([]cmdclass.ClassID(nil), r.Classes...)
+	return out
+}
+
+// NodeTable is the controller's device database. It is not safe for
+// concurrent use; the simulation is single-threaded.
+type NodeTable struct {
+	records map[protocol.NodeID]NodeRecord
+}
+
+// NewNodeTable returns an empty table.
+func NewNodeTable() *NodeTable {
+	return &NodeTable{records: make(map[protocol.NodeID]NodeRecord)}
+}
+
+// Put inserts or replaces a record.
+func (t *NodeTable) Put(r NodeRecord) { t.records[r.ID] = r.clone() }
+
+// Get returns the record for id.
+func (t *NodeTable) Get(id protocol.NodeID) (NodeRecord, bool) {
+	r, ok := t.records[id]
+	if !ok {
+		return NodeRecord{}, false
+	}
+	return r.clone(), true
+}
+
+// Delete removes the record for id, reporting whether it existed.
+func (t *NodeTable) Delete(id protocol.NodeID) bool {
+	if _, ok := t.records[id]; !ok {
+		return false
+	}
+	delete(t.records, id)
+	return true
+}
+
+// Len reports the number of records.
+func (t *NodeTable) Len() int { return len(t.records) }
+
+// IDs returns the node IDs in ascending order.
+func (t *NodeTable) IDs() []protocol.NodeID {
+	out := make([]protocol.NodeID, 0, len(t.records))
+	for id := range t.records {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Snapshot deep-copies the table (used for reset and for oracle diffing).
+func (t *NodeTable) Snapshot() *NodeTable {
+	out := NewNodeTable()
+	for _, r := range t.records {
+		out.Put(r)
+	}
+	return out
+}
+
+// Restore replaces the table contents with a snapshot's.
+func (t *NodeTable) Restore(snap *NodeTable) {
+	t.records = make(map[protocol.NodeID]NodeRecord, snap.Len())
+	for _, r := range snap.records {
+		t.records[r.ID] = r.clone()
+	}
+}
+
+// String renders the table the way the PC Controller program lists it.
+func (t *NodeTable) String() string {
+	s := ""
+	for _, id := range t.IDs() {
+		r := t.records[id]
+		s += fmt.Sprintf("node %3d: basic=0x%02X generic=0x%02X specific=0x%02X wakeup=%s\n",
+			id, r.Basic, r.Generic, r.Specific, r.WakeupInterval)
+	}
+	return s
+}

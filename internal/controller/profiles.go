@@ -1,0 +1,264 @@
+package controller
+
+import (
+	"strconv"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+)
+
+// BugID indexes the paper's Table III zero-day vulnerabilities.
+type BugID int
+
+// The fifteen Table III bugs. Values match the paper's Bug ID column.
+const (
+	Bug01MemoryCorruption  BugID = 1  // CVE-2024-50929
+	Bug02RogueInsertion    BugID = 2  // CVE-2024-50920
+	Bug03NodeRemoval       BugID = 3  // CVE-2024-50931
+	Bug04DatabaseOverwrite BugID = 4  // CVE-2024-50930
+	Bug05AppDoS            BugID = 5  // CVE-2024-50921
+	Bug06HostCrash         BugID = 6  // CVE-2023-6640
+	Bug07ResetLocallyHang  BugID = 7  // CVE-2023-6533
+	Bug08GroupInfoHang     BugID = 8  // CVE-2024-50924
+	Bug09FirmwareMDHang    BugID = 9  // CVE-2023-6642
+	Bug10VersionGetHang    BugID = 10 // CVE-2023-6641
+	Bug11CommandListHang   BugID = 11 // CVE-2023-6643
+	Bug12WakeupRemoval     BugID = 12 // CVE-2024-50928
+	Bug13HostDoS           BugID = 13 // reported, no CVE
+	Bug14BusyScanHang      BugID = 14 // reported, no CVE
+	Bug15FirmwareReqHang   BugID = 15 // reported, no CVE
+)
+
+// String implements fmt.Stringer.
+func (b BugID) String() string { return "Bug" + pad2(int(b)) }
+
+func pad2(n int) string {
+	if n < 10 {
+		return "0" + strconv.Itoa(n)
+	}
+	return strconv.Itoa(n)
+}
+
+// MACBug identifies a legacy MAC-layer parsing fault — the one-day class of
+// bugs that VFuzz's MAC-frame mutation reaches and ZCover's application-
+// layer mutation never does (Table V: "no vulnerabilities found in common").
+type MACBug int
+
+// MAC parsing faults. Enum starts at 1.
+const (
+	// MACBugLenOverflow: LEN field larger than the received frame makes
+	// the chipset read past the buffer.
+	MACBugLenOverflow MACBug = iota + 1
+	// MACBugRuntAck: an acknowledgement frame carrying payload bytes
+	// confuses the transfer state machine.
+	MACBugRuntAck
+	// MACBugRoutedHeader: a routed header with a truncated repeater list
+	// crashes the routing engine.
+	MACBugRoutedHeader
+	// MACBugEmptyMulticast: a multicast frame without an address mask
+	// wedges the multicast parser.
+	MACBugEmptyMulticast
+)
+
+// String implements fmt.Stringer.
+func (b MACBug) String() string {
+	switch b {
+	case MACBugLenOverflow:
+		return "mac-len-overflow"
+	case MACBugRuntAck:
+		return "mac-runt-ack"
+	case MACBugRoutedHeader:
+		return "mac-routed-header"
+	case MACBugEmptyMulticast:
+		return "mac-empty-multicast"
+	default:
+		return "MACBug(" + strconv.Itoa(int(b)) + ")"
+	}
+}
+
+// Profile is the per-device configuration of one testbed controller
+// (Tables II and IV of the paper).
+type Profile struct {
+	// Index is the testbed identifier ("D1".."D7").
+	Index string
+	// Brand and Model identify the product.
+	Brand, Model string
+	// Year is the model year.
+	Year int
+	// Host is the attached host software.
+	Host HostKind
+	// Home is the network home ID observed in Table IV.
+	Home protocol.HomeID
+	// Listed is the command-class list the controller advertises in its
+	// NIF — the "known CMDCLs" of the fingerprinting phase.
+	Listed []cmdclass.ClassID
+	// Bugs is the subset of Table III bugs present on this device.
+	Bugs []BugID
+	// MACBugs is the device's legacy MAC parsing faults.
+	MACBugs []MACBug
+	// FirmwareVersion feeds the VERSION responder.
+	FirmwareVersion [2]byte
+	// Patched marks a firmware built against the updated Z-Wave
+	// specification the paper's findings feed into (§V-B): every
+	// specification-rooted vulnerability is closed. Implementation bugs in
+	// the host programs (06, 13) and the legacy MAC one-days are out of
+	// the specification's reach and survive.
+	Patched bool
+}
+
+// specRooted reports whether a Table III bug's root cause is the Z-Wave
+// specification (every row except the two implementation bugs 06 and 13).
+func specRooted(id BugID) bool {
+	return id != Bug06HostCrash && id != Bug13HostDoS
+}
+
+// HasBug reports whether the profile carries the given Table III bug.
+// Patched firmware closes every specification-rooted bug.
+func (p Profile) HasBug(id BugID) bool {
+	if p.Patched && specRooted(id) {
+		return false
+	}
+	for _, b := range p.Bugs {
+		if b == id {
+			return true
+		}
+	}
+	return false
+}
+
+// PatchedProfile returns the profile rebuilt against the updated
+// specification — same device, same NIF, spec-rooted bugs closed.
+func PatchedProfile(index string) (Profile, bool) {
+	p, ok := ProfileByIndex(index)
+	if !ok {
+		return Profile{}, false
+	}
+	p.Patched = true
+	return p, ok
+}
+
+// modernListed is the 17-class NIF of the 700-series-era controllers
+// (D1, D2, D4, D6 in Table IV).
+func modernListed() []cmdclass.ClassID {
+	return []cmdclass.ClassID{
+		cmdclass.ClassZWavePlusInfo,
+		cmdclass.ClassBasic,
+		cmdclass.ClassControllerRepl,
+		cmdclass.ClassApplicationStatus,
+		cmdclass.ClassTransportService,
+		cmdclass.ClassCRC16Encap,
+		cmdclass.ClassAssocGroupInfo,
+		cmdclass.ClassDeviceResetLocal,
+		cmdclass.ClassSupervision,
+		cmdclass.ClassManufacturerSpec,
+		cmdclass.ClassPowerlevel,
+		cmdclass.ClassInclusionCtrl,
+		cmdclass.ClassFirmwareUpdateMD,
+		cmdclass.ClassAssociation,
+		cmdclass.ClassVersion,
+		cmdclass.ClassSecurity0,
+		cmdclass.ClassSecurity2,
+	}
+}
+
+// legacyListed is the 15-class NIF of the 2015-era controllers (D3, D5,
+// D7): they predate ZWAVEPLUS_INFO and SUPERVISION.
+func legacyListed() []cmdclass.ClassID {
+	out := make([]cmdclass.ClassID, 0, 15)
+	for _, c := range modernListed() {
+		if c == cmdclass.ClassZWavePlusInfo || c == cmdclass.ClassSupervision {
+			continue
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// commonBugs are the Table III bugs present on every tested controller.
+func commonBugs() []BugID {
+	return []BugID{
+		Bug01MemoryCorruption, Bug02RogueInsertion, Bug03NodeRemoval,
+		Bug04DatabaseOverwrite, Bug07ResetLocallyHang, Bug08GroupInfoHang,
+		Bug09FirmwareMDHang, Bug10VersionGetHang, Bug11CommandListHang,
+		Bug12WakeupRemoval, Bug14BusyScanHang, Bug15FirmwareReqHang,
+	}
+}
+
+// usbBugs adds the PC-Controller-program bugs (06, 13) present on the USB
+// interface controllers D1–D5.
+func usbBugs() []BugID {
+	return append(commonBugs(), Bug06HostCrash, Bug13HostDoS)
+}
+
+// hubBugs adds the smartphone-app bug (05) present on the Samsung hubs
+// D6 and D7.
+func hubBugs() []BugID {
+	return append(commonBugs(), Bug05AppDoS)
+}
+
+// Profiles returns the seven controller profiles of the paper's testbed,
+// in Table II order. Home IDs and NIF sizes follow Table IV; bug sets
+// follow Table III's affected-device column; MAC one-day counts follow the
+// VFuzz results in Table V (D1: 1, D2: 3, D3: 0, D4: 4, D5: 0).
+func Profiles() []Profile {
+	return []Profile{
+		{
+			Index: "D1", Brand: "ZooZ", Model: "ZST10", Year: 2022,
+			Host: HostPCProgram, Home: 0xE7DE3F3D,
+			Listed: modernListed(), Bugs: usbBugs(),
+			MACBugs:         []MACBug{MACBugLenOverflow},
+			FirmwareVersion: [2]byte{0x07, 0x12},
+		},
+		{
+			Index: "D2", Brand: "SiLab", Model: "UZB-7", Year: 2019,
+			Host: HostPCProgram, Home: 0xCD007171,
+			Listed: modernListed(), Bugs: usbBugs(),
+			MACBugs:         []MACBug{MACBugLenOverflow, MACBugRuntAck, MACBugRoutedHeader},
+			FirmwareVersion: [2]byte{0x07, 0x0F},
+		},
+		{
+			Index: "D3", Brand: "Nortek", Model: "HUSBZB-1", Year: 2015,
+			Host: HostPCProgram, Home: 0xCB51722D,
+			Listed: legacyListed(), Bugs: usbBugs(),
+			FirmwareVersion: [2]byte{0x04, 0x3C},
+		},
+		{
+			Index: "D4", Brand: "Aeotec", Model: "ZW090-A", Year: 2015,
+			Host: HostPCProgram, Home: 0xC7E9DD54,
+			Listed: modernListed(), Bugs: usbBugs(),
+			MACBugs: []MACBug{
+				MACBugLenOverflow, MACBugRuntAck,
+				MACBugRoutedHeader, MACBugEmptyMulticast,
+			},
+			FirmwareVersion: [2]byte{0x04, 0x36},
+		},
+		{
+			Index: "D5", Brand: "ZWaveMe", Model: "ZMEUUZB1", Year: 2015,
+			Host: HostPCProgram, Home: 0xF4C3754D,
+			Listed: legacyListed(), Bugs: usbBugs(),
+			FirmwareVersion: [2]byte{0x04, 0x22},
+		},
+		{
+			Index: "D6", Brand: "Samsung", Model: "ET-WV520", Year: 2017,
+			Host: HostSmartApp, Home: 0xCB95A34A,
+			Listed: modernListed(), Bugs: hubBugs(),
+			FirmwareVersion: [2]byte{0x05, 0x27},
+		},
+		{
+			Index: "D7", Brand: "Samsung", Model: "STH-ETH-200", Year: 2015,
+			Host: HostSmartApp, Home: 0xEDC87EE4,
+			Listed: legacyListed(), Bugs: hubBugs(),
+			FirmwareVersion: [2]byte{0x04, 0x18},
+		},
+	}
+}
+
+// ProfileByIndex returns the profile with the given testbed index.
+func ProfileByIndex(idx string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Index == idx {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

@@ -1,0 +1,123 @@
+package controller
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+)
+
+// radioRegionUS shortens the storm tests.
+const radioRegionUS = radio.RegionUS
+
+// Robustness properties: no input — well-formed, malformed, or raw line
+// noise — may panic the controller model, and certain invariants must hold
+// under arbitrary packet storms.
+
+// TestControllerNeverPanicsOnRandomPayloads storms the application layer
+// with arbitrary payloads.
+func TestControllerNeverPanicsOnRandomPayloads(t *testing.T) {
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, "D4")
+		for i := 0; i < 50; i++ {
+			payload := make([]byte, rng.Intn(40))
+			rng.Read(payload)
+			if err := r.attacker.Send(0x01, payload); err != nil {
+				// Oversized payloads cannot encode; that is the sender's
+				// problem, not the controller's.
+				continue
+			}
+			r.clock.Advance(time.Second)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerNeverPanicsOnRawNoise storms the raw radio path (which
+// bypasses the frame codec) with random bytes.
+func TestControllerNeverPanicsOnRawNoise(t *testing.T) {
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, "D2")
+		trx := r.medium.Attach("noise", radioRegionUS)
+		d4, _ := ProfileByIndex("D2")
+		for i := 0; i < 50; i++ {
+			raw := make([]byte, rng.Intn(protocol.MaxFrameSize)+1)
+			rng.Read(raw)
+			if rng.Intn(2) == 0 && len(raw) >= protocol.HeaderSize {
+				// Half the storm carries the right home ID so it passes
+				// the hardware filter and reaches the parser models.
+				h := d4.Home
+				raw[0], raw[1], raw[2], raw[3] = byte(h>>24), byte(h>>16), byte(h>>8), byte(h)
+				raw[8] = 0x01
+			}
+			if err := trx.Transmit(raw); err != nil {
+				return false
+			}
+			r.clock.Advance(100 * time.Millisecond)
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerSelfEntryInvariant: whatever the storm does to the node
+// table, the controller's own entry must survive (it refuses to
+// unregister itself, and overwrites re-seed it).
+func TestControllerSelfEntryInvariant(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := newRig(t, "D6")
+		for i := 0; i < 80; i++ {
+			// Storm the node-registration vector specifically.
+			payload := append([]byte{0x01, 0x0D}, make([]byte, rng.Intn(10))...)
+			rng.Read(payload[2:])
+			if err := r.attacker.Send(0x01, payload); err != nil {
+				return false
+			}
+		}
+		_, ok := r.ctrl.Table().Get(0x01)
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerBusyNeverNegative: hang windows only extend; time heals
+// them without intervention.
+func TestControllerHangsAlwaysHeal(t *testing.T) {
+	r := newRig(t, "D1")
+	r.inject(t, []byte{0x01, 0x04, 0x1D}) // 4-minute hang (the longest)
+	if !r.ctrl.Busy() {
+		t.Fatal("controller not busy")
+	}
+	r.clock.Advance(4*time.Minute + time.Second)
+	if r.ctrl.Busy() {
+		t.Fatal("controller did not heal after the hang window")
+	}
+	acks := r.acks
+	r.inject(t, []byte{0x00})
+	if r.acks != acks+1 {
+		t.Fatal("healed controller not responding")
+	}
+}

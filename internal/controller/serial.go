@@ -1,0 +1,118 @@
+package controller
+
+import (
+	"time"
+
+	"zcover/internal/device"
+	"zcover/internal/protocol"
+	"zcover/internal/serialapi"
+)
+
+// Serial API backend: the chip side of the host interface the PC
+// Controller program (serialapi.PCController) drives on the USB-stick
+// controllers D1–D5. The handlers read the same node table the CMDCL 0x01
+// vulnerability models tamper with, which is what makes the attacks of
+// Figs 8–11 visible in the program's UI.
+
+var _ serialapi.Chip = (*Controller)(nil)
+
+// SerialCall implements serialapi.Chip.
+func (c *Controller) SerialCall(funcID byte, data []byte) ([]byte, bool) {
+	switch funcID {
+	case serialapi.FuncGetVersion:
+		v := c.profile.FirmwareVersion
+		s := []byte("Z-Wave " + itoa(int(v[0])) + "." + pad2(int(v[1])))
+		return append(s, 0x00, 0x01 /* library: static controller */), true
+
+	case serialapi.FuncMemoryGetID:
+		h := c.profile.Home
+		return []byte{byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h), byte(c.node.ID())}, true
+
+	case serialapi.FuncGetControllerCapabilities:
+		// Primary, SUC-capable static controller.
+		return []byte{0x1C}, true
+
+	case serialapi.FuncGetInitData:
+		const maskLen = 29
+		out := make([]byte, 0, 5+maskLen)
+		out = append(out, 0x08 /* API version */, 0x00 /* capabilities */, maskLen)
+		mask := make([]byte, maskLen)
+		for _, id := range c.table.IDs() {
+			if id >= 1 && int(id) <= maskLen*8 {
+				mask[(id-1)/8] |= 1 << ((id - 1) % 8)
+			}
+		}
+		out = append(out, mask...)
+		return append(out, 0x07 /* chip type */, 0x00), true
+
+	case serialapi.FuncGetNodeProtocolInfo:
+		if len(data) < 1 {
+			return nil, false
+		}
+		rec, ok := c.table.Get(protocol.NodeID(data[0]))
+		if !ok {
+			return []byte{0, 0, 0, 0, 0, 0}, true // empty slot, as real chips report
+		}
+		return []byte{rec.Capability, rec.Security, 0x00, rec.Basic, rec.Generic, rec.Specific}, true
+
+	case serialapi.FuncAddNodeToNetwork:
+		// data[0]: 0x01 = add any node, 0x05 = stop.
+		if len(data) >= 1 && data[0] == 0x05 {
+			c.inclusionUntil = time.Time{}
+			c.node.SetLearnMode(false)
+		} else {
+			c.AddNodeMode(0)
+		}
+		return []byte{0x01}, true
+
+	case serialapi.FuncRemoveFailedNode:
+		// The legitimate removal path: the chip verifies the node is
+		// actually unreachable before deleting it — the authorization
+		// check the NEW_NODE_REGISTERED path (bug 03) is missing.
+		if len(data) < 1 {
+			return []byte{0x00}, true
+		}
+		id := protocol.NodeID(data[0])
+		rec, ok := c.table.Get(id)
+		if !ok {
+			return []byte{0x00}, true // no such node
+		}
+		if rec.Capability&device.CapListening != 0 {
+			// A listening node is reachable; refuse (0x00 = not failed).
+			return []byte{0x00}, true
+		}
+		c.table.Delete(id)
+		return []byte{0x01}, true
+
+	case serialapi.FuncSendData:
+		if len(data) < 2 {
+			return []byte{0x00}, true
+		}
+		dst := protocol.NodeID(data[0])
+		n := int(data[1])
+		if n > len(data)-2 {
+			return []byte{0x00}, true
+		}
+		payload := append([]byte{}, data[2:2+n]...)
+		if err := c.node.Send(dst, payload); err != nil {
+			return []byte{0x00}, true
+		}
+		return []byte{0x01}, true
+	}
+	return nil, false
+}
+
+// itoa avoids importing strconv for two tiny conversions.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for n > 0 && i > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

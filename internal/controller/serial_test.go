@@ -1,0 +1,153 @@
+package controller
+
+import (
+	"strings"
+	"testing"
+
+	"zcover/internal/serialapi"
+)
+
+func TestSerialMemoryGetIDMatchesProfile(t *testing.T) {
+	r := newRig(t, "D1")
+	p := serialapi.NewPCController(r.ctrl)
+	id, err := p.NetworkID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Home != 0xE7DE3F3D || id.NodeID != 0x01 {
+		t.Fatalf("network id = %+v", id)
+	}
+}
+
+func TestSerialNodeTableReflectsInclusions(t *testing.T) {
+	r := newRig(t, "D2")
+	p := serialapi.NewPCController(r.ctrl)
+	table, err := p.NodeTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table) != 3 {
+		t.Fatalf("table = %v", table)
+	}
+	if table[1].TypeName() != "Entry Control (Door Lock)" {
+		t.Errorf("node 2 renders as %q", table[1].TypeName())
+	}
+	if table[2].TypeName() != "Binary Switch" {
+		t.Errorf("node 3 renders as %q", table[2].TypeName())
+	}
+}
+
+// The Fig. 8 view: after the memory-tampering attack, the PC Controller
+// program shows the door lock as a routing slave.
+func TestSerialViewShowsMemoryTampering(t *testing.T) {
+	r := newRig(t, "D4")
+	p := serialapi.NewPCController(r.ctrl)
+
+	before, err := p.RenderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(before, "Door Lock") {
+		t.Fatalf("before:\n%s", before)
+	}
+
+	// Bug 01: rewrite the lock's stored type (Fig 8).
+	r.inject(t, []byte{0x01, 0x0D, 0x02, 0x00, 0x00, 0x00, 0x04, 0x10, 0x01})
+
+	after, err := p.RenderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(after, "Door Lock") {
+		t.Fatalf("lock still rendered after tampering:\n%s", after)
+	}
+	if !strings.Contains(after, "Binary Switch") {
+		t.Fatalf("tampered type not visible:\n%s", after)
+	}
+}
+
+// The Fig. 9 view: rogue controllers #10 and #200 appear in the list.
+func TestSerialViewShowsRogueControllers(t *testing.T) {
+	r := newRig(t, "D1")
+	p := serialapi.NewPCController(r.ctrl)
+	for _, id := range []byte{10, 200} {
+		r.inject(t, []byte{0x01, 0x0D, id, 0x80, 0x00, 0x00, 0x01, 0x02, 0x01})
+	}
+	view, err := p.RenderTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(view, "10 ") || !strings.Contains(view, "200") {
+		t.Fatalf("rogue nodes missing from view:\n%s", view)
+	}
+	if got := strings.Count(view, "Static Controller"); got != 3 { // self + 2 rogues
+		t.Fatalf("view shows %d controllers, want 3:\n%s", got, view)
+	}
+}
+
+func TestSerialSendDataTransmitsOnAir(t *testing.T) {
+	r := newRig(t, "D1")
+	p := serialapi.NewPCController(r.ctrl)
+	if err := p.SendData(0x0F, []byte{0x20, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker node (0x0F) received the frame off the air.
+	if len(r.replies) != 1 || r.replies[0][0] != 0x20 {
+		t.Fatalf("air traffic = %v", r.replies)
+	}
+}
+
+func TestSerialVersionString(t *testing.T) {
+	r := newRig(t, "D3")
+	p := serialapi.NewPCController(r.ctrl)
+	v, err := p.Version()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(v, "Z-Wave 4.") {
+		t.Fatalf("version = %q", v)
+	}
+}
+
+func TestSerialUnknownNodeReportsEmptySlot(t *testing.T) {
+	r := newRig(t, "D1")
+	resp, ok := r.ctrl.SerialCall(serialapi.FuncGetNodeProtocolInfo, []byte{0x63})
+	if !ok {
+		t.Fatal("protocol info call failed")
+	}
+	for _, b := range resp {
+		if b != 0 {
+			t.Fatalf("empty slot = % X", resp)
+		}
+	}
+}
+
+func TestSerialUnsupportedFunction(t *testing.T) {
+	r := newRig(t, "D1")
+	if _, ok := r.ctrl.SerialCall(0xEE, nil); ok {
+		t.Fatal("unknown function answered")
+	}
+}
+
+func TestSerialRemoveFailedNode(t *testing.T) {
+	r := newRig(t, "D1")
+	client := serialapi.NewClient(r.ctrl)
+	// Node 3 (the switch) is listening: the chip refuses to remove it.
+	resp, err := client.Call(serialapi.FuncRemoveFailedNode, []byte{0x03})
+	if err != nil || resp[0] != 0x00 {
+		t.Fatalf("listening node removed: % X, %v", resp, err)
+	}
+	// Node 2 (the lock) is a non-listening sleeper: removable when failed.
+	resp, err = client.Call(serialapi.FuncRemoveFailedNode, []byte{0x02})
+	if err != nil || resp[0] != 0x01 {
+		t.Fatalf("failed node not removed: % X, %v", resp, err)
+	}
+	if _, ok := r.ctrl.Table().Get(0x02); ok {
+		t.Fatal("node still present")
+	}
+	// Unknown node.
+	resp, err = client.Call(serialapi.FuncRemoveFailedNode, []byte{0x63})
+	if err != nil || resp[0] != 0x00 {
+		t.Fatalf("ghost removal: % X, %v", resp, err)
+	}
+}

@@ -1,0 +1,303 @@
+package controller
+
+import (
+	"fmt"
+	"time"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/device"
+	"zcover/internal/oracle"
+	"zcover/internal/protocol"
+)
+
+// This file implements the fifteen vulnerability models of Table III as
+// buggy firmware code paths. Each model documents its trigger predicate
+// and which fuzzing strategy can reach it; the ablation results of
+// Table VI fall out of these predicates:
+//
+//   - the seven CMDCL 0x01 bugs (01–05, 12, 14) need the hidden class plus
+//     semantic parameter values (known node IDs, boundary mask lengths),
+//     so only the full configuration reaches them;
+//   - bugs 06 and 13 live in listed classes but need boundary parameter
+//     values, so position-sensitive mutation (full and β) reaches them;
+//   - bugs 07–11 and 15 live in listed classes and trigger on broadly
+//     malformed parameters, so even random fuzzing (γ) reaches them.
+
+// Hang durations from Table III's Duration column.
+const (
+	bug07Hang = 68 * time.Second
+	bug08Hang = 67 * time.Second
+	bug09Hang = 63 * time.Second
+	bug10Hang = 4 * time.Second
+	bug11Hang = 62 * time.Second
+	bug14Hang = 4 * time.Minute
+	bug15Hang = 59 * time.Second
+)
+
+// checkBugs evaluates the application-layer vulnerability models. It
+// returns true when a model fired (the frame is consumed by the bug).
+func (c *Controller) checkBugs(src protocol.NodeID, class cmdclass.ClassID, cmd cmdclass.CommandID, params []byte) bool {
+	switch class {
+	case cmdclass.ClassZWaveProtocol:
+		return c.checkProtocolBugs(cmd, params)
+
+	case cmdclass.ClassDeviceResetLocal:
+		// Bug 07 (CVE-2023-6533): DEVICE_RESET_LOCALLY_NOTIFICATION takes
+		// no parameters; trailing bytes corrupt the reset bookkeeping and
+		// the controller goes silent for ~68 s.
+		if c.profile.HasBug(Bug07ResetLocallyHang) &&
+			cmd == cmdclass.CmdDeviceResetNotification && len(params) > 0 {
+			c.hang(bug07Hang, class, cmd, "reset-notification with trailing bytes")
+			return true
+		}
+
+	case cmdclass.ClassAssocGroupInfo:
+		// Bugs 08 and 11 (CVE-2024-50924, CVE-2023-6643): reserved bits in
+		// the AGI flags byte send the group-info walker into a retry loop.
+		if len(params) >= 1 && params[0]&0x3F != 0 {
+			if c.profile.HasBug(Bug08GroupInfoHang) && cmd == cmdclass.CmdAGIGroupInfoGet {
+				c.hang(bug08Hang, class, cmd, "reserved AGI flag bits")
+				return true
+			}
+			if c.profile.HasBug(Bug11CommandListHang) && cmd == cmdclass.CmdAGICommandListGet {
+				c.hang(bug11Hang, class, cmd, "reserved AGI flag bits")
+				return true
+			}
+		}
+
+	case cmdclass.ClassFirmwareUpdateMD:
+		// Bug 09 (CVE-2023-6642): MD_GET takes no parameters; junk bytes
+		// stall the firmware metadata reader.
+		if c.profile.HasBug(Bug09FirmwareMDHang) &&
+			cmd == cmdclass.CmdFirmwareMDGet && len(params) > 0 {
+			c.hang(bug09Hang, class, cmd, "firmware MD get with trailing bytes")
+			return true
+		}
+		// Bug 15: REQUEST_GET shorter than its six fixed parameters makes
+		// the parser read uninitialised fields and spin.
+		if c.profile.HasBug(Bug15FirmwareReqHang) &&
+			cmd == cmdclass.CmdFirmwareRequestGet && len(params) < 6 {
+			c.hang(bug15Hang, class, cmd, "truncated firmware update request")
+			return true
+		}
+
+	case cmdclass.ClassVersion:
+		// Bug 10 (CVE-2023-6641): VERSION_COMMAND_CLASS_GET for a class
+		// the firmware does not implement walks the class registry without
+		// a terminator (~4 s outage per packet).
+		// (A zero class ID takes the firmware's "no class requested" early
+		// exit, so only non-zero unsupported IDs reach the buggy walk.)
+		if c.profile.HasBug(Bug10VersionGetHang) &&
+			cmd == cmdclass.CmdVersionCommandClassGet &&
+			len(params) >= 1 && params[0] != 0x00 && !c.Supports(cmdclass.ClassID(params[0])) {
+			c.hang(bug10Hang, class, cmd, fmt.Sprintf("version query for unsupported class 0x%02X", params[0]))
+			return true
+		}
+
+	case cmdclass.ClassSecurity2:
+		// Bug 06 (CVE-2023-6640): an S2 NONCE_GET carrying a sequence
+		// number in the reserved top range crashes the PC controller
+		// program's nonce bookkeeping.
+		if c.profile.HasBug(Bug06HostCrash) &&
+			cmd == cmdclass.CmdS2NonceGet && len(params) >= 1 && params[0] >= 0xF8 {
+			c.host.Crash()
+			c.emit(oracle.HostCrash, class, cmd, 0, "S2 nonce-get with reserved sequence number")
+			return true
+		}
+
+	case cmdclass.ClassPowerlevel:
+		// Bug 13: POWERLEVEL_TEST_NODE_SET with a 0xFFxx frame count makes
+		// the host program stream test frames indefinitely.
+		if c.profile.HasBug(Bug13HostDoS) &&
+			cmd == cmdclass.CmdPowerlevelTestNodeSet && len(params) >= 3 && params[2] == 0xFF {
+			c.host.Wedge()
+			c.emit(oracle.HostDoS, class, cmd, 0, "powerlevel test flood wedges the host program")
+			return true
+		}
+	}
+	return false
+}
+
+// checkProtocolBugs evaluates the hidden CMDCL 0x01 models. The root flaw
+// — shared by all of them and called out by the paper as a specification
+// defect — is that this network-management class is accepted in clear text
+// even on an S2 network.
+func (c *Controller) checkProtocolBugs(cmd cmdclass.CommandID, params []byte) bool {
+	switch cmd {
+	case cmdclass.CmdProtoNewNodeRegistered:
+		return c.checkNodeRegistrationBugs(params)
+
+	case cmdclass.CmdProtoRequestNodeInfo:
+		// Bug 05 (CVE-2024-50921): a *mutated* self-interrogation (trailing
+		// junk after the node ID) drives the hub's event pipeline into a
+		// loop and wedges the smartphone app (Samsung hubs D6, D7).
+		if c.profile.HasBug(Bug05AppDoS) && len(params) >= 2 &&
+			protocol.NodeID(params[0]) == c.node.ID() {
+			c.host.Wedge()
+			c.emit(oracle.AppDoS, cmdclass.ClassZWaveProtocol, cmdclass.CmdProtoRequestNodeInfo, 0,
+				"self-interrogation loop wedges the smartphone app")
+			return true
+		}
+
+	case cmdclass.CmdProtoFindNodesInRange:
+		// Bug 14: a neighbour-discovery request with an oversized or
+		// inconsistent node mask keeps the controller scanning for
+		// non-existent devices for over four minutes.
+		if !c.profile.HasBug(Bug14BusyScanHang) || len(params) < 1 {
+			return false
+		}
+		maskLen := int(params[0])
+		if maskLen >= 29 || maskLen > len(params)-1 {
+			c.hang(bug14Hang, cmdclass.ClassZWaveProtocol, cmd, "scan for non-existent nodes")
+			return true
+		}
+	}
+	return false
+}
+
+// checkNodeRegistrationBugs evaluates the NEW_NODE_REGISTERED (0x01/0x0D)
+// models — the memory-tampering family of Figs 8–11. The parameter layout
+// is [NodeID, Capability, Security, Properties, Basic, Generic, Specific,
+// classes...].
+func (c *Controller) checkNodeRegistrationBugs(params []byte) bool {
+	if len(params) < 1 {
+		return false
+	}
+	target := protocol.NodeID(params[0])
+	record, exists := c.table.Get(target)
+
+	// Bug 04 (CVE-2024-50930): registration addressed to the broadcast ID
+	// overwrites the whole device table (Fig 11).
+	if c.profile.HasBug(Bug04DatabaseOverwrite) && target == protocol.NodeBroadcast {
+		c.overwriteTable()
+		c.emit(oracle.DatabaseOverwritten, cmdclass.ClassZWaveProtocol, cmdclass.CmdProtoNewNodeRegistered,
+			0, "device table overwritten with attacker-chosen entries")
+		return true
+	}
+
+	// Bug 03 (CVE-2024-50931): a bare registration (node ID only) is
+	// treated as "node gone" and deletes the entry (Fig 10). The firmware
+	// does refuse to unregister its own node ID.
+	if c.profile.HasBug(Bug03NodeRemoval) && len(params) == 1 && exists &&
+		target != c.node.ID() {
+		c.table.Delete(target)
+		c.emit(oracle.NodeRemoved, cmdclass.ClassZWaveProtocol, cmdclass.CmdProtoNewNodeRegistered,
+			0, fmt.Sprintf("node %d removed from controller memory", target))
+		return true
+	}
+
+	// Bug 12 (CVE-2024-50928): a two-byte registration with a zeroed
+	// capability field truncates the stored wake-up configuration. The
+	// wake-up NVM area is keyed by node ID independently of the node
+	// table, so the write lands even for a node whose table entry is gone.
+	if c.profile.HasBug(Bug12WakeupRemoval) && len(params) == 2 && params[1] == 0x00 &&
+		c.wakeupStore[target] > 0 {
+		delete(c.wakeupStore, target)
+		if exists && record.WakeupInterval > 0 {
+			record.WakeupInterval = 0
+			c.table.Put(record)
+		}
+		c.emit(oracle.WakeupCleared, cmdclass.ClassZWaveProtocol, cmdclass.CmdProtoNewNodeRegistered,
+			0, fmt.Sprintf("wake-up interval of node %d erased", target))
+		return true
+	}
+
+	if len(params) < 7 {
+		return false
+	}
+	capability, basic, generic, specific := params[1], params[4], params[5], params[6]
+
+	// Bug 01 (CVE-2024-50929): a full registration for an existing node
+	// with a different (non-zero) generic type silently rewrites the
+	// stored device properties (Fig 8: door lock becomes routing slave).
+	if c.profile.HasBug(Bug01MemoryCorruption) && exists &&
+		generic != 0x00 && generic != record.Generic {
+		old := record.Generic
+		record.Capability, record.Basic, record.Generic, record.Specific = capability, basic, generic, specific
+		c.table.Put(record)
+		c.emit(oracle.NodeTampered, cmdclass.ClassZWaveProtocol, cmdclass.CmdProtoNewNodeRegistered,
+			0, fmt.Sprintf("node %d generic type 0x%02X rewritten to 0x%02X", target, old, generic))
+		return true
+	}
+
+	// Bug 02 (CVE-2024-50920): a full registration for an unknown unicast
+	// ID claiming to be a controller inserts a rogue controller entry
+	// (Fig 9: fake controllers #10 and #200).
+	if c.profile.HasBug(Bug02RogueInsertion) && !exists && target.IsUnicast() &&
+		basic == device.BasicTypeController {
+		c.table.Put(NodeRecord{
+			ID: target, Basic: basic, Generic: generic, Specific: specific,
+			Capability: capability,
+		})
+		c.emit(oracle.RogueNodeAdded, cmdclass.ClassZWaveProtocol, cmdclass.CmdProtoNewNodeRegistered,
+			0, fmt.Sprintf("rogue controller inserted as node %d", target))
+		return true
+	}
+	return false
+}
+
+// overwriteTable replaces the device table with attacker-shaped garbage,
+// keeping only the controller's own entry (Fig 11).
+func (c *Controller) overwriteTable() {
+	self, ok := c.table.Get(c.node.ID())
+	if !ok {
+		self = NodeRecord{
+			ID: c.node.ID(), Basic: device.BasicTypeStaticController,
+			Generic: device.GenericTypeController, Specific: 0x01,
+		}
+	}
+	c.table.Restore(NewNodeTable())
+	c.table.Put(self)
+	for _, id := range []protocol.NodeID{10, 200} {
+		c.table.Put(NodeRecord{
+			ID: id, Basic: device.BasicTypeController,
+			Generic: device.GenericTypeController, Specific: 0x01,
+		})
+	}
+}
+
+// macBugCheck is the raw-frame hook implementing the profile's legacy MAC
+// parsing faults (the one-days VFuzz finds). It returns true when the
+// frame was consumed by a fault.
+func (c *Controller) macBugCheck(raw []byte) bool {
+	if len(c.profile.MACBugs) == 0 || len(raw) < protocol.HeaderSize {
+		return false
+	}
+	home, _, dst, ok := protocol.SniffNetworkInfo(raw)
+	if !ok || home != c.profile.Home {
+		return false // home-ID filtering happens in hardware, before parsing
+	}
+	if dst != c.node.ID() && dst != protocol.NodeBroadcast {
+		return false
+	}
+	if c.Busy() {
+		return true // a hung chipset stays hung
+	}
+	headerType := raw[5] & 0x0F
+	for _, bug := range c.profile.MACBugs {
+		triggered := false
+		switch bug {
+		case MACBugLenOverflow:
+			triggered = int(raw[7]) > len(raw)
+		case MACBugRuntAck:
+			triggered = headerType == 0x03 && len(raw) > protocol.HeaderSize+1
+		case MACBugRoutedHeader:
+			triggered = headerType == 0x08 && len(raw) < protocol.HeaderSize+4
+		case MACBugEmptyMulticast:
+			triggered = headerType == 0x02 && len(raw) < protocol.HeaderSize+4
+		}
+		if triggered {
+			c.busyUntil = c.clock.Now().Add(2 * time.Second)
+			c.bus.Emit(oracle.Event{
+				At:       c.clock.Now(),
+				Device:   c.profile.Index,
+				Kind:     oracle.MACParsingFault,
+				Cmd:      byte(bug), // discriminates the MAC fault family
+				Duration: 2 * time.Second,
+				Detail:   bug.String(),
+			})
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,122 @@
+// Package decode renders Z-Wave application payloads human-readable by
+// resolving class, command, and parameter names against the specification
+// database (and the proprietary class definitions). It is the dissector
+// behind the zsniff tool and the replay verifier's reports — the
+// "packet dissection" step of the paper's Fig. 4 made presentable.
+package decode
+
+import (
+	"fmt"
+	"strings"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/security"
+)
+
+// Decoded is the annotated form of one application payload.
+type Decoded struct {
+	// ClassID and Class name the command class ("?" when unknown).
+	ClassID cmdclass.ClassID
+	Class   string
+	// CommandID and Command name the command within the class.
+	CommandID cmdclass.CommandID
+	Command   string
+	// Params annotates each parameter byte with its spec name.
+	Params []Param
+	// Encrypted marks S0/S2 encapsulations whose payload is opaque.
+	Encrypted bool
+	// Trailing holds bytes beyond the spec's parameter list.
+	Trailing []byte
+}
+
+// Param is one annotated parameter byte.
+type Param struct {
+	// Name is the spec's parameter name ("?" beyond the spec).
+	Name string
+	// Value is the wire byte.
+	Value byte
+	// Legal reports whether the value is legal for the parameter's kind.
+	Legal bool
+}
+
+// Payload dissects one application payload against the registry.
+func Payload(reg *cmdclass.Registry, payload []byte) Decoded {
+	out := Decoded{Class: "?", Command: "?"}
+	if len(payload) == 0 {
+		return out
+	}
+	out.ClassID = cmdclass.ClassID(payload[0])
+	if out.ClassID == 0x00 {
+		out.Class = "NO_OPERATION"
+		return out
+	}
+	if security.IsEncapsulation(payload) {
+		out.Class, out.Command, out.Encrypted = "SECURITY_2", "MESSAGE_ENCAPSULATION", true
+		out.CommandID = 0x03
+		return out
+	}
+	if len(payload) >= 2 && payload[0] == 0x98 && payload[1] == 0x81 {
+		out.Class, out.Command, out.Encrypted = "SECURITY", "MESSAGE_ENCAPSULATION", true
+		out.CommandID = 0x81
+		return out
+	}
+
+	cls, ok := reg.Get(out.ClassID)
+	if !ok {
+		cls, ok = cmdclass.HiddenClass(out.ClassID)
+	}
+	if !ok {
+		return out
+	}
+	out.Class = cls.Name
+	if len(payload) < 2 {
+		return out
+	}
+	out.CommandID = cmdclass.CommandID(payload[1])
+	cmd, ok := cls.Command(out.CommandID)
+	if !ok {
+		return out
+	}
+	out.Command = cmd.Name
+
+	rest := payload[2:]
+	for _, p := range cmd.Params {
+		if len(rest) == 0 {
+			break
+		}
+		if p.Kind == cmdclass.ParamVariadic {
+			out.Params = append(out.Params, Param{Name: p.Name, Value: rest[0], Legal: true})
+			rest = nil
+			break
+		}
+		out.Params = append(out.Params, Param{Name: p.Name, Value: rest[0], Legal: p.Legal(rest[0])})
+		rest = rest[1:]
+	}
+	out.Trailing = rest
+	return out
+}
+
+// String renders the dissection on one line, e.g.
+//
+//	ZWAVE_PROTOCOL NEW_NODE_REGISTERED NodeID=0x02 +1 trailing
+func (d Decoded) String() string {
+	var b strings.Builder
+	b.WriteString(d.Class)
+	if d.Command != "?" || d.CommandID != 0 {
+		fmt.Fprintf(&b, " %s", d.Command)
+	}
+	if d.Encrypted {
+		b.WriteString(" (encrypted payload)")
+		return b.String()
+	}
+	for _, p := range d.Params {
+		fmt.Fprintf(&b, " %s=0x%02X", p.Name, p.Value)
+		if !p.Legal {
+			b.WriteString("!")
+		}
+	}
+	if len(d.Trailing) > 0 {
+		fmt.Fprintf(&b, " +% X trailing", d.Trailing)
+	}
+	return b.String()
+}

@@ -1,0 +1,58 @@
+package decode
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+	"zcover/internal/zcover/mutate"
+)
+
+// Property: the dissector never panics and always names the stream's class
+// for every payload the position-sensitive mutator can generate.
+func TestDecodeHandlesAllMutatorOutputs(t *testing.T) {
+	reg := cmdclass.MustLoad()
+	classes := append(reg.ControllerCluster(), cmdclass.HiddenCandidates()...)
+	sem := mutate.Semantics{Controller: 1, KnownNodes: []protocol.NodeID{1, 2, 3}}
+	prop := func(seed int64, idx uint8, n uint8) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		cls := classes[int(idx)%len(classes)]
+		stream := mutate.New(sem, seed).Stream(cls)
+		for i := 0; i < int(n%80)+1; i++ {
+			d := Payload(reg, stream.Next())
+			if d.ClassID != cls.ID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary byte soup never panics the dissector.
+func TestDecodeHandlesArbitraryBytes(t *testing.T) {
+	reg := cmdclass.MustLoad()
+	prop := func(seed int64) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		r := rand.New(rand.NewSource(seed))
+		payload := make([]byte, r.Intn(60))
+		r.Read(payload)
+		_ = Payload(reg, payload).String()
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

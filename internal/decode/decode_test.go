@@ -1,0 +1,95 @@
+package decode
+
+import (
+	"strings"
+	"testing"
+
+	"zcover/internal/cmdclass"
+)
+
+func reg(t *testing.T) *cmdclass.Registry {
+	t.Helper()
+	return cmdclass.MustLoad()
+}
+
+func TestDecodeBasicSet(t *testing.T) {
+	d := Payload(reg(t), []byte{0x20, 0x01, 0xFF})
+	if d.Class != "BASIC" || d.Command != "SET" {
+		t.Fatalf("decoded = %+v", d)
+	}
+	if len(d.Params) != 1 || d.Params[0].Name != "Value" || d.Params[0].Value != 0xFF || !d.Params[0].Legal {
+		t.Fatalf("params = %+v", d.Params)
+	}
+}
+
+func TestDecodeHiddenProtocolClass(t *testing.T) {
+	d := Payload(reg(t), []byte{0x01, 0x0D, 0x02})
+	if d.Class != "ZWAVE_PROTOCOL" || d.Command != "NEW_NODE_REGISTERED" {
+		t.Fatalf("decoded = %+v", d)
+	}
+	if len(d.Params) != 1 || d.Params[0].Name != "NodeID" {
+		t.Fatalf("params = %+v", d.Params)
+	}
+}
+
+func TestDecodeFlagsIllegalValues(t *testing.T) {
+	// DOOR_LOCK_OPERATION_SET with a mode outside the enum.
+	d := Payload(reg(t), []byte{0x62, 0x01, 0x55})
+	if len(d.Params) != 1 || d.Params[0].Legal {
+		t.Fatalf("illegal enum not flagged: %+v", d.Params)
+	}
+	if !strings.Contains(d.String(), "0x55!") {
+		t.Fatalf("rendering does not mark illegal value: %s", d.String())
+	}
+}
+
+func TestDecodeTrailingBytes(t *testing.T) {
+	d := Payload(reg(t), []byte{0x5A, 0x01, 0xAA, 0xBB})
+	if d.Command != "NOTIFICATION" || len(d.Trailing) != 2 {
+		t.Fatalf("decoded = %+v", d)
+	}
+	if !strings.Contains(d.String(), "trailing") {
+		t.Fatalf("rendering misses trailing bytes: %s", d.String())
+	}
+}
+
+func TestDecodeEncryptedPayloads(t *testing.T) {
+	s2 := Payload(reg(t), []byte{0x9F, 0x03, 0x01, 0x00, 0xDE, 0xAD})
+	if !s2.Encrypted || s2.Class != "SECURITY_2" {
+		t.Fatalf("S2 = %+v", s2)
+	}
+	s0 := Payload(reg(t), []byte{0x98, 0x81, 0x01, 0x02})
+	if !s0.Encrypted || s0.Class != "SECURITY" {
+		t.Fatalf("S0 = %+v", s0)
+	}
+	if !strings.Contains(s2.String(), "encrypted") {
+		t.Fatal("encrypted rendering missing")
+	}
+}
+
+func TestDecodeUnknowns(t *testing.T) {
+	if d := Payload(reg(t), nil); d.Class != "?" {
+		t.Fatalf("empty = %+v", d)
+	}
+	if d := Payload(reg(t), []byte{0x00}); d.Class != "NO_OPERATION" {
+		t.Fatalf("NOP = %+v", d)
+	}
+	if d := Payload(reg(t), []byte{0x03, 0x01}); d.Class != "?" {
+		t.Fatalf("unknown class = %+v", d)
+	}
+	// Known class, unknown command.
+	if d := Payload(reg(t), []byte{0x20, 0x77}); d.Class != "BASIC" || d.Command != "?" {
+		t.Fatalf("unknown command = %+v", d)
+	}
+}
+
+func TestDecodeVariadicStopsConsuming(t *testing.T) {
+	// USER_CODE SET: UserIdentifier, UserIDStatus, then a variadic code.
+	d := Payload(reg(t), []byte{0x63, 0x01, 0x05, 0x01, 0x31, 0x32, 0x33, 0x34})
+	if len(d.Params) != 3 { // identifier, status, first code byte
+		t.Fatalf("params = %+v", d.Params)
+	}
+	if len(d.Trailing) != 0 {
+		t.Fatalf("variadic should absorb the tail: %+v", d)
+	}
+}

@@ -1,0 +1,20 @@
+package decode_test
+
+import (
+	"fmt"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/decode"
+)
+
+// ExamplePayload dissects the bug-03 proof-of-concept packet.
+func ExamplePayload() {
+	reg := cmdclass.MustLoad()
+	fmt.Println(decode.Payload(reg, []byte{0x01, 0x0D, 0x02}))
+	fmt.Println(decode.Payload(reg, []byte{0x62, 0x01, 0xFF}))
+	fmt.Println(decode.Payload(reg, []byte{0x9F, 0x03, 0x07, 0x00, 0xDE, 0xAD, 0xBE, 0xEF, 1, 2, 3, 4, 5, 6, 7, 8}))
+	// Output:
+	// ZWAVE_PROTOCOL NEW_NODE_REGISTERED NodeID=0x02
+	// DOOR_LOCK OPERATION_SET Mode=0xFF
+	// SECURITY_2 MESSAGE_ENCAPSULATION (encrypted payload)
+}

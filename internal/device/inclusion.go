@@ -1,0 +1,64 @@
+package device
+
+import (
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+)
+
+// Over-the-air inclusion (the slave side). A factory-fresh device joins a
+// network in three steps: the user puts it in learn mode, it broadcasts
+// its node information frame, and the including controller answers with
+// ASSIGN_IDS carrying the network home ID and the device's new node ID.
+
+// JoinNetwork puts the node in learn mode and broadcasts its NIF — what
+// happens when the user presses the device's inclusion button while the
+// controller is in add-node mode. The assignment arrives asynchronously;
+// the caller's handler must route ASSIGN_IDS through HandleInclusion.
+func JoinNetwork(n *Node, id Identity) error {
+	n.SetLearnMode(true)
+	return n.Send(protocol.NodeBroadcast, id.NIFPayload())
+}
+
+// HandleInclusion processes inclusion-protocol frames on a joining device.
+// It returns true when the frame was consumed (whether or not it completed
+// the join).
+func HandleInclusion(n *Node, f *protocol.Frame) bool {
+	if !n.LearnMode() {
+		return false
+	}
+	payload := f.Payload
+	if len(payload) < 7 ||
+		payload[0] != byte(cmdclass.ClassZWaveProtocol) ||
+		payload[1] != byte(cmdclass.CmdProtoAssignIDs) {
+		return false
+	}
+	newID := protocol.NodeID(payload[2])
+	home := protocol.HomeID(uint32(payload[3])<<24 | uint32(payload[4])<<16 |
+		uint32(payload[5])<<8 | uint32(payload[6]))
+	if newID == protocol.NodeUnassigned {
+		// Exclusion: reset to factory (unassigned, out of the network).
+		n.Adopt(home, protocol.NodeUnassigned)
+		return true
+	}
+	if !newID.IsUnicast() {
+		return true // malformed assignment: stay in learn mode
+	}
+	n.Adopt(home, newID)
+	return true
+}
+
+// LeaveNetwork puts the node in learn mode and broadcasts its NIF while
+// the controller is in remove-node mode — the user pressing the exclusion
+// button.
+func LeaveNetwork(n *Node, id Identity) error {
+	return JoinNetwork(n, id) // same announcement; the controller's mode decides
+}
+
+// AssignIDsPayload builds the controller's ASSIGN_IDS frame payload.
+func AssignIDsPayload(id protocol.NodeID, home protocol.HomeID) []byte {
+	return []byte{
+		byte(cmdclass.ClassZWaveProtocol), byte(cmdclass.CmdProtoAssignIDs),
+		byte(id),
+		byte(home >> 24), byte(home >> 16), byte(home >> 8), byte(home),
+	}
+}

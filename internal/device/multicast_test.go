@@ -1,0 +1,67 @@
+package device
+
+import (
+	"testing"
+
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+	"zcover/internal/vtime"
+)
+
+func TestMulticastReachesAddressedNodesOnly(t *testing.T) {
+	m := radio.NewMedium(vtime.NewSimClock())
+	hub := NewNode(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: 0x01, Name: "hub"})
+
+	counts := map[protocol.NodeID]int{}
+	for _, id := range []protocol.NodeID{2, 3, 9} {
+		id := id
+		n := NewNode(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: id, Name: "n"})
+		n.Handler = func(f *protocol.Frame) {
+			if f.CommandClass() == 0x25 {
+				counts[id]++
+			}
+		}
+	}
+
+	if err := hub.SendMulticast([]protocol.NodeID{2, 9}, []byte{0x25, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if counts[2] != 1 || counts[9] != 1 {
+		t.Fatalf("addressed nodes missed the frame: %v", counts)
+	}
+	if counts[3] != 0 {
+		t.Fatalf("unaddressed node processed the frame: %v", counts)
+	}
+}
+
+func TestMulticastPayloadRoundTrip(t *testing.T) {
+	payload, err := protocol.EncodeMulticastPayload([]protocol.NodeID{1, 8, 17}, []byte{0x20, 0x01, 0xFF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, apl, err := protocol.ParseMulticastPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 8 || ids[2] != 17 {
+		t.Fatalf("ids = %v", ids)
+	}
+	if len(apl) != 3 || apl[0] != 0x20 {
+		t.Fatalf("apl = % X", apl)
+	}
+}
+
+func TestMulticastValidation(t *testing.T) {
+	if _, err := protocol.EncodeMulticastPayload(nil, nil); err == nil {
+		t.Fatal("accepted empty addressee list")
+	}
+	if _, err := protocol.EncodeMulticastPayload([]protocol.NodeID{0xFF}, nil); err == nil {
+		t.Fatal("accepted broadcast addressee")
+	}
+	if _, _, err := protocol.ParseMulticastPayload([]byte{0x05, 0x01}); err == nil {
+		t.Fatal("accepted truncated mask")
+	}
+	if _, _, err := protocol.ParseMulticastPayload([]byte{0x00, 0x01}); err == nil {
+		t.Fatal("accepted zero mask length")
+	}
+}

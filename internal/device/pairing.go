@@ -1,0 +1,136 @@
+package device
+
+import (
+	"fmt"
+	"io"
+
+	"zcover/internal/security"
+)
+
+// S2Pairing is the outcome of an S2 inclusion (bootstrapping) ceremony.
+type S2Pairing struct {
+	// NetworkKey is the permanent key granted to the device.
+	NetworkKey []byte
+	// ControllerSession is the including controller's session endpoint
+	// (flow A→B is controller→device).
+	ControllerSession *security.Session
+	// DeviceSession is the included device's endpoint.
+	DeviceSession *security.Session
+	// Transcript holds the KEX application payloads in exchange order, as
+	// they would appear on the air. Everything up to the network-key
+	// report is clear text by design; an eavesdropper still cannot derive
+	// the key because it is protected by the ECDH-derived temporary key —
+	// unlike S0's fixed temporary key.
+	Transcript [][]byte
+}
+
+// PairS2 runs the S2 key-exchange ceremony between a controller and a
+// joining device and returns both endpoints' established sessions.
+//
+// The message flow follows the S2 bootstrap: KEX_REPORT, KEX_SET, the two
+// PUBLIC_KEY_REPORTs, ECDH, CKDF temporary key, NETWORK_KEY_GET/REPORT
+// under the temporary key, NETWORK_KEY_VERIFY, TRANSFER_END, and finally
+// the SPAN entropy exchange. The exchange itself runs in-process rather
+// than over the simulated air: inclusion happens before the attack window
+// the paper studies, and running it inline keeps the testbed setup
+// deterministic. The payload bytes are still produced exactly as they
+// would be transmitted, so tests (and the sniffer example) can inspect a
+// faithful transcript.
+//
+// networkKey is the controller's existing S2 key; pass nil to have a fresh
+// key generated (first inclusion).
+func PairS2(rng io.Reader, networkKey []byte) (*S2Pairing, error) {
+	out := &S2Pairing{}
+
+	// 1. Joining device announces its supported schemes and requests keys.
+	kexReport := []byte{0x9F, 0x05, 0x00, 0x02, 0x01, security.KeySize & 0x07}
+	out.Transcript = append(out.Transcript, kexReport)
+
+	// 2. Controller grants scheme 2 (ECDH) and the unauthenticated class.
+	kexSet := []byte{0x9F, 0x06, 0x00, 0x02, 0x01, 0x01}
+	out.Transcript = append(out.Transcript, kexSet)
+
+	// 3–4. Public key exchange.
+	devKeys, err := security.GenerateKeypair(rng)
+	if err != nil {
+		return nil, fmt.Errorf("device: S2 pairing: %w", err)
+	}
+	ctrlKeys, err := security.GenerateKeypair(rng)
+	if err != nil {
+		return nil, fmt.Errorf("device: S2 pairing: %w", err)
+	}
+	out.Transcript = append(out.Transcript,
+		append([]byte{0x9F, 0x08, 0x00}, devKeys.Public()...),
+		append([]byte{0x9F, 0x08, 0x01}, ctrlKeys.Public()...))
+
+	// 5. Both sides derive the temporary key from the ECDH secret.
+	devSecret, err := devKeys.SharedSecret(ctrlKeys.Public())
+	if err != nil {
+		return nil, fmt.Errorf("device: S2 pairing: %w", err)
+	}
+	ctrlSecret, err := ctrlKeys.SharedSecret(devKeys.Public())
+	if err != nil {
+		return nil, fmt.Errorf("device: S2 pairing: %w", err)
+	}
+	tempKeyDev, err := security.DeriveTempKey(devSecret)
+	if err != nil {
+		return nil, err
+	}
+	tempKeyCtrl, err := security.DeriveTempKey(ctrlSecret)
+	if err != nil {
+		return nil, err
+	}
+
+	// 6–7. Network key transfer under the temporary key. The inclusion
+	// nonce is fixed per the bootstrap profile (the temporary key is
+	// single-use, so this is safe — unlike S0's fixed *key*).
+	if networkKey == nil {
+		networkKey, err = security.NewNetworkKey(rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out.NetworkKey = networkKey
+	aead, err := security.NewCCM(tempKeyCtrl)
+	if err != nil {
+		return nil, err
+	}
+	bootNonce := make([]byte, security.CCMNonceSize)
+	keyReport := append([]byte{0x9F, 0x0A, 0x01}, aead.Seal(nil, bootNonce, networkKey, []byte{0x9F, 0x0A})...)
+	out.Transcript = append(out.Transcript, []byte{0x9F, 0x09, 0x01}, keyReport)
+
+	// Device side decrypts with its own derivation of the temp key.
+	devAEAD, err := security.NewCCM(tempKeyDev)
+	if err != nil {
+		return nil, err
+	}
+	gotKey, err := devAEAD.Open(nil, bootNonce, keyReport[3:], []byte{0x9F, 0x0A})
+	if err != nil {
+		return nil, fmt.Errorf("device: S2 pairing: network key transfer failed: %w", err)
+	}
+
+	// 8. Verification handshake.
+	out.Transcript = append(out.Transcript, []byte{0x9F, 0x0B}, []byte{0x9F, 0x0C, 0x01})
+
+	// 9. SPAN entropy exchange establishes the nonce stream.
+	eiCtrl := make([]byte, security.EntropySize)
+	eiDev := make([]byte, security.EntropySize)
+	if _, err := io.ReadFull(rng, eiCtrl); err != nil {
+		return nil, fmt.Errorf("device: S2 pairing: %w", err)
+	}
+	if _, err := io.ReadFull(rng, eiDev); err != nil {
+		return nil, fmt.Errorf("device: S2 pairing: %w", err)
+	}
+	out.Transcript = append(out.Transcript,
+		append([]byte{0x9F, 0x02, 0x01, 0x01}, eiDev...)) // NONCE_REPORT with SOS
+
+	out.ControllerSession, err = security.NewSession(networkKey, eiCtrl, eiDev)
+	if err != nil {
+		return nil, err
+	}
+	out.DeviceSession, err = security.NewSession(gotKey, eiCtrl, eiDev)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,198 @@
+package device
+
+import (
+	"testing"
+
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+	"zcover/internal/vtime"
+)
+
+// meshRig builds a three-node line topology: hub at the origin, a repeater
+// switch 35 m away, and a far node at 70 m — with a 40 m radio range, the
+// far node can only reach the hub through the repeater.
+type meshRig struct {
+	medium   *radio.Medium
+	hub      *Node
+	repeater *BinarySwitch
+	far      *Node
+	hubGot   [][]byte
+	farGot   [][]byte
+}
+
+func newMeshRig(t *testing.T) *meshRig {
+	t.Helper()
+	r := &meshRig{medium: radio.NewMedium(vtime.NewSimClock())}
+	r.medium.SetRange(40)
+
+	r.hub = NewNode(Config{Medium: r.medium, Region: radio.RegionUS, Home: testHome, ID: 0x01, Name: "hub"})
+	r.hub.Place(0, 0)
+	r.hub.Handler = func(f *protocol.Frame) { r.hubGot = append(r.hubGot, append([]byte{}, f.Payload...)) }
+
+	r.repeater = NewBinarySwitch(Config{Medium: r.medium, Region: radio.RegionUS, Home: testHome, ID: 0x03, Name: "repeater"}, 0x01)
+	r.repeater.Node().Place(35, 0)
+
+	r.far = NewNode(Config{Medium: r.medium, Region: radio.RegionUS, Home: testHome, ID: 0x05, Name: "far"})
+	r.far.Place(70, 0)
+	r.far.Handler = func(f *protocol.Frame) { r.farGot = append(r.farGot, append([]byte{}, f.Payload...)) }
+	return r
+}
+
+func TestDirectDeliveryFailsOutOfRange(t *testing.T) {
+	r := newMeshRig(t)
+	if err := r.far.Send(0x01, []byte{0x20, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hubGot) != 0 {
+		t.Fatal("frame crossed 70 m with a 40 m range")
+	}
+}
+
+func TestRoutedDeliveryThroughRepeater(t *testing.T) {
+	r := newMeshRig(t)
+	msg := []byte{0x20, 0x01, 0xFF}
+	if err := r.far.SendRouted(0x01, []protocol.NodeID{0x03}, msg); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hubGot) != 1 || r.hubGot[0][0] != 0x20 {
+		t.Fatalf("hub received %v", r.hubGot)
+	}
+}
+
+func TestRoutedDeliveryBothDirections(t *testing.T) {
+	r := newMeshRig(t)
+	if err := r.hub.SendRouted(0x05, []protocol.NodeID{0x03}, []byte{0x25, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.farGot) != 1 {
+		t.Fatalf("far received %v", r.farGot)
+	}
+}
+
+func TestRepeaterIgnoresWrongTurn(t *testing.T) {
+	r := newMeshRig(t)
+	// A route listing the repeater at hop 1 while hop 0 names a ghost:
+	// nobody's turn, the frame dies.
+	payload, err := protocol.EncodeRoutedPayload(protocol.RouteHeader{
+		Repeaters: []protocol.NodeID{0x77, 0x03},
+	}, []byte{0x20, 0x01, 0xFF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := protocol.NewDataFrame(testHome, 0x05, 0x01, payload)
+	f.Control.Header = protocol.HeaderRouted
+	f.Control.AckRequested = false
+	raw := f.MustEncode()
+	trx := r.medium.Attach("raw", radio.RegionUS)
+	trx.Place(70, 0)
+	if err := trx.Transmit(raw); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hubGot) != 0 {
+		t.Fatal("frame delivered without its repeater's turn")
+	}
+}
+
+func TestNonRepeaterDoesNotForward(t *testing.T) {
+	r := newMeshRig(t)
+	// Route through the far *node* (not a repeater) back to the hub: the
+	// node must not forward.
+	mid := NewNode(Config{Medium: r.medium, Region: radio.RegionUS, Home: testHome, ID: 0x06, Name: "mid"})
+	mid.Place(35, 10)
+	if err := r.far.SendRouted(0x01, []protocol.NodeID{0x06}, []byte{0x20, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hubGot) != 0 {
+		t.Fatal("non-repeater forwarded a routed frame")
+	}
+}
+
+func TestRoutedFourHopChain(t *testing.T) {
+	m := radio.NewMedium(vtime.NewSimClock())
+	m.SetRange(30)
+	hub := NewNode(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: 0x01, Name: "hub"})
+	hub.Place(0, 0)
+	var got [][]byte
+	hub.Handler = func(f *protocol.Frame) { got = append(got, append([]byte{}, f.Payload...)) }
+
+	var route []protocol.NodeID
+	for i := 1; i <= 4; i++ {
+		sw := NewBinarySwitch(Config{Medium: m, Region: radio.RegionUS, Home: testHome,
+			ID: protocol.NodeID(0x10 + i), Name: "r"}, 0x01)
+		sw.Node().Place(float64(i)*25, 0)
+		route = append(route, sw.Node().ID())
+	}
+	far := NewNode(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: 0x20, Name: "far"})
+	far.Place(125, 0)
+
+	// Route must run far -> r4 -> r3 -> r2 -> r1 -> hub.
+	reversed := []protocol.NodeID{route[3], route[2], route[1], route[0]}
+	if err := far.SendRouted(0x01, reversed, []byte{0x20, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("hub received %v", got)
+	}
+}
+
+func TestRouteHeaderRoundTrip(t *testing.T) {
+	rh := protocol.RouteHeader{Inbound: true, Repeaters: []protocol.NodeID{3, 7}, Hop: 1}
+	payload, err := protocol.EncodeRoutedPayload(rh, []byte{0x62, 0x02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, apl, err := protocol.ParseRoutedPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Inbound || got.Hop != 1 || len(got.Repeaters) != 2 || got.Repeaters[1] != 7 {
+		t.Fatalf("header = %+v", got)
+	}
+	if len(apl) != 2 || apl[0] != 0x62 {
+		t.Fatalf("apl = % X", apl)
+	}
+}
+
+func TestRouteHeaderValidation(t *testing.T) {
+	if _, err := protocol.EncodeRoutedPayload(protocol.RouteHeader{}, nil); err == nil {
+		t.Fatal("accepted empty route")
+	}
+	if _, err := protocol.EncodeRoutedPayload(protocol.RouteHeader{
+		Repeaters: []protocol.NodeID{1, 2, 3, 4, 5}}, nil); err == nil {
+		t.Fatal("accepted five repeaters")
+	}
+	if _, err := protocol.EncodeRoutedPayload(protocol.RouteHeader{
+		Repeaters: []protocol.NodeID{0xFF}}, nil); err == nil {
+		t.Fatal("accepted broadcast repeater")
+	}
+	if _, _, err := protocol.ParseRoutedPayload([]byte{0x00, 0x51, 0x03}); err == nil {
+		t.Fatal("accepted truncated repeater list")
+	}
+	if _, _, err := protocol.ParseRoutedPayload([]byte{0x00}); err == nil {
+		t.Fatal("accepted short payload")
+	}
+}
+
+// The Fig. 2 geometry: the attacker at 70 m is out of direct range but
+// the victim's own mains-powered switch repeats the kill packet into the
+// controller. The mesh works for the attacker too.
+func TestAttackerRoutesAttackThroughVictimRepeater(t *testing.T) {
+	r := newMeshRig(t)
+	attacker := NewNode(Config{Medium: r.medium, Region: radio.RegionUS, Home: testHome, ID: 0x0F, Name: "attacker"})
+	attacker.Place(70, 0)
+
+	// Direct injection fails at this distance...
+	if err := attacker.Send(0x01, []byte{0x01, 0x0D, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hubGot) != 0 {
+		t.Fatal("direct injection crossed 70 m")
+	}
+	// ...but the network's own repeater delivers it.
+	if err := attacker.SendRouted(0x01, []protocol.NodeID{0x03}, []byte{0x01, 0x0D, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.hubGot) != 1 || r.hubGot[0][0] != 0x01 {
+		t.Fatalf("hub received %v", r.hubGot)
+	}
+}

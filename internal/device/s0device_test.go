@@ -1,0 +1,173 @@
+package device
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+	"zcover/internal/security"
+	"zcover/internal/vtime"
+)
+
+// s0Pair wires two nodes with S0 channels under one network key.
+func s0Pair(t *testing.T) (*S0Channel, *S0Channel, *radio.Medium) {
+	t.Helper()
+	m := radio.NewMedium(vtime.NewSimClock())
+	rng := rand.New(rand.NewSource(13))
+	key, err := security.NewNetworkKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(id protocol.NodeID, name string) (*Node, *S0Channel) {
+		n := NewNode(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: id, Name: name})
+		ch, err := NewS0Channel(n, key, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Handler = func(f *protocol.Frame) { ch.HandleFrame(f) }
+		return n, ch
+	}
+	_, a := mk(0x01, "s0-hub")
+	_, b := mk(0x05, "s0-sensor")
+	return a, b, m
+}
+
+func TestS0ChannelRoundTripOverTheAir(t *testing.T) {
+	hub, sensor, _ := s0Pair(t)
+	msg := []byte{0x30, 0x03, 0xFF} // SENSOR_BINARY REPORT triggered
+	if err := sensor.SendSecured(0x01, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := hub.Received()
+	if len(got) != 1 || !bytes.Equal(got[0], msg) {
+		t.Fatalf("received %v", got)
+	}
+	_ = sensor
+}
+
+func TestS0ChannelBothDirections(t *testing.T) {
+	hub, sensor, _ := s0Pair(t)
+	if err := hub.SendSecured(0x05, []byte{0x25, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sensor.Received(); len(got) != 1 || got[0][0] != 0x25 {
+		t.Fatalf("sensor received %v", got)
+	}
+	if err := sensor.SendSecured(0x01, []byte{0x25, 0x03, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Received(); len(got) != 1 {
+		t.Fatalf("hub received %v", got)
+	}
+}
+
+func TestS0ChannelRejectsReplayedNonce(t *testing.T) {
+	hub, sensor, m := s0Pair(t)
+	// Capture the encapsulation frame off the air and replay it.
+	var captured []byte
+	sniffer := m.Attach("sniffer", radio.RegionUS)
+	sniffer.SetReceiver(func(c radio.Capture) {
+		if f, err := protocol.Decode(c.Raw, protocol.ChecksumCS8); err == nil &&
+			len(f.Payload) > 2 && f.Payload[0] == 0x98 && f.Payload[1] == 0x81 {
+			captured = append([]byte{}, c.Raw...)
+		}
+	})
+	if err := sensor.SendSecured(0x01, []byte{0x30, 0x03, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+	if len(hub.Received()) != 1 || captured == nil {
+		t.Fatal("setup failed")
+	}
+	// Replay: the receiver nonce was single-use, so the replay is dropped.
+	attacker := m.Attach("attacker", radio.RegionUS)
+	if err := attacker.Transmit(captured); err != nil {
+		t.Fatal(err)
+	}
+	if got := hub.Received(); len(got) != 0 {
+		t.Fatalf("replay accepted: %v", got)
+	}
+}
+
+func TestS0ChannelFailsWithoutPeer(t *testing.T) {
+	m := radio.NewMedium(vtime.NewSimClock())
+	rng := rand.New(rand.NewSource(14))
+	key, _ := security.NewNetworkKey(rng)
+	n := NewNode(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: 1, Name: "lonely"})
+	ch, err := NewS0Channel(n, key, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.SendSecured(0x09, []byte{0x20, 0x01, 0xFF}); err == nil {
+		t.Fatal("secured send succeeded with no peer on the air")
+	}
+}
+
+// The weakness demonstration end to end: an eavesdropper that captured an
+// S0 *inclusion* can decrypt every later message. The inclusion key
+// transfer is protected only by the fixed all-zero temporary key, so the
+// network key is effectively public to anyone sniffing at join time.
+func TestS0SnifferDecryptsTrafficAfterKeyCapture(t *testing.T) {
+	hub, sensor, m := s0Pair(t)
+
+	// Inclusion time: the attacker captures the key transfer and recovers
+	// the network key with the known temporary key.
+	rng := rand.New(rand.NewSource(15))
+	netKey, _ := security.NewNetworkKey(rng)
+	sn, _ := security.NewS0Nonce(rng)
+	rn, _ := security.NewS0Nonce(rng)
+	transfer, err := security.S0EncryptNetworkKeyTransfer(netKey, sn, rn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stolen, err := security.S0RecoverNetworkKeyFromCapture(transfer, rn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(stolen, netKey) {
+		t.Fatal("key recovery failed")
+	}
+
+	// Runtime: the sniffer watches one protected exchange. Both nonce
+	// halves are visible on the air — the receiver nonce travels in the
+	// clear-text NONCE_REPORT and the sender nonce rides in the
+	// encapsulation header — so the captured key decrypts everything.
+	_ = hub
+	var sniffedNonce, sniffedEncap []byte
+	var src, dst protocol.NodeID
+	sniffer := m.Attach("s0-sniffer", radio.RegionUS)
+	sniffer.SetReceiver(func(c radio.Capture) {
+		f, err := protocol.Decode(c.Raw, protocol.ChecksumCS8)
+		if err != nil || len(f.Payload) < 2 || f.Payload[0] != 0x98 {
+			return
+		}
+		switch f.Payload[1] {
+		case 0x80: // NONCE_REPORT
+			sniffedNonce = append([]byte{}, f.Payload[2:]...)
+		case 0x81: // MESSAGE_ENCAPSULATION
+			sniffedEncap = append([]byte{}, f.Payload...)
+			src, dst = f.Src, f.Dst
+		}
+	})
+
+	secret := []byte{0x62, 0x01, 0x00} // "unlock the door"
+	if err := sensor.SendSecured(0x01, secret); err != nil {
+		t.Fatal(err)
+	}
+	if sniffedNonce == nil || sniffedEncap == nil {
+		t.Fatal("sniffer missed the exchange")
+	}
+
+	// The channels in this test run under a different random key, so use
+	// the channel's own key material to stand in for the stolen one: what
+	// matters is that key + sniffed frames = plaintext.
+	plain, err := security.S0Decapsulate(sensor.keys, sniffedNonce,
+		[]byte{0x81, byte(src), byte(dst)}, sniffedEncap)
+	if err != nil {
+		t.Fatalf("sniffer with the captured key could not decrypt: %v", err)
+	}
+	if !bytes.Equal(plain, secret) {
+		t.Fatalf("decrypted %x, want %x", plain, secret)
+	}
+}

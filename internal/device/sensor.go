@@ -1,0 +1,129 @@
+package device
+
+import (
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+)
+
+// MultilevelSensor emulates a battery-powered temperature sensor: a
+// sleeping (wake-up) node that periodically wakes, reports a reading and
+// its battery level to the hub, and goes back to sleep. It rounds out the
+// testbed with the third device archetype of real smart homes — the
+// paper's testbed focuses on the lock and switch, but sleepers are what
+// the wake-up machinery (and bug 12's stored intervals) exist for.
+type MultilevelSensor struct {
+	node     *Node
+	identity Identity
+	hub      protocol.NodeID
+
+	temperatureDeciC int
+	battery          byte
+	awake            bool
+	reports          int
+}
+
+// NewMultilevelSensor attaches a sensor to the testbed.
+func NewMultilevelSensor(cfg Config, hub protocol.NodeID) *MultilevelSensor {
+	s := &MultilevelSensor{
+		hub:              hub,
+		temperatureDeciC: 215, // 21.5 °C
+		battery:          0x64,
+		identity: Identity{
+			Basic:      BasicTypeSlave,
+			Generic:    0x21, // sensor multilevel generic type
+			Specific:   0x01,
+			Capability: 0, // non-listening: a sleeper
+			Security:   0,
+			Classes: []cmdclass.ClassID{
+				cmdclass.ClassBasic,
+				cmdclass.ClassSensorMultilevel,
+				cmdclass.ClassBattery,
+				cmdclass.ClassWakeUp,
+				cmdclass.ClassVersion,
+			},
+		},
+	}
+	s.node = NewNode(cfg)
+	s.node.Handler = s.handle
+	return s
+}
+
+// Node exposes the underlying node.
+func (s *MultilevelSensor) Node() *Node { return s.node }
+
+// Identity reports the advertised NIF identity.
+func (s *MultilevelSensor) Identity() Identity { return s.identity }
+
+// Join puts the sensor in learn mode and announces it.
+func (s *MultilevelSensor) Join() error { return JoinNetwork(s.node, s.identity) }
+
+// SetTemperature updates the measured value (deci-degrees Celsius).
+func (s *MultilevelSensor) SetTemperature(deciC int) { s.temperatureDeciC = deciC }
+
+// Reports counts the readings sent so far.
+func (s *MultilevelSensor) Reports() int { return s.reports }
+
+// Awake reports whether the sensor radio is currently listening.
+func (s *MultilevelSensor) Awake() bool { return s.awake }
+
+// WakeCycle performs one wake-up period: announce the wake-up, send a
+// sensor report and battery level, then return to sleep — the traffic
+// pattern of every battery sensor on a real network.
+func (s *MultilevelSensor) WakeCycle() error {
+	s.awake = true
+	defer func() { s.awake = false }()
+
+	wakeup := []byte{byte(cmdclass.ClassWakeUp), byte(cmdclass.CmdWakeUpNotification)}
+	if err := s.node.Send(s.hub, wakeup); err != nil {
+		return err
+	}
+	if err := s.reportReading(); err != nil {
+		return err
+	}
+	battery := []byte{byte(cmdclass.ClassBattery), 0x03, s.battery}
+	return s.node.Send(s.hub, battery)
+}
+
+// reportReading sends the SENSOR_MULTILEVEL report (temperature, scale
+// Celsius, two-byte value with one decimal).
+func (s *MultilevelSensor) reportReading() error {
+	v := s.temperatureDeciC
+	payload := []byte{
+		byte(cmdclass.ClassSensorMultilevel), 0x05,
+		0x01,                  // sensor type: air temperature
+		0x22,                  // precision 1, scale 0 (°C), size 2
+		byte(v >> 8), byte(v), // value
+	}
+	s.reports++
+	return s.node.Send(s.hub, payload)
+}
+
+// handle answers queries while the sensor is awake; a sleeping sensor's
+// radio is off and the frame is lost (the hub is expected to queue
+// commands until the next wake-up notification).
+func (s *MultilevelSensor) handle(f *protocol.Frame) {
+	if HandleInclusion(s.node, f) {
+		return
+	}
+	if !s.awake {
+		return
+	}
+	payload := f.Payload
+	if target, ok := IsNIFRequest(payload); ok && (target == 0 || target == s.node.ID()) {
+		_ = s.node.Send(f.Src, s.identity.NIFPayload())
+		return
+	}
+	if len(payload) < 2 {
+		return
+	}
+	switch cmdclass.ClassID(payload[0]) {
+	case cmdclass.ClassSensorMultilevel:
+		if payload[1] == 0x04 { // GET
+			_ = s.reportReading()
+		}
+	case cmdclass.ClassBattery:
+		if payload[1] == 0x02 {
+			_ = s.node.Send(f.Src, []byte{byte(cmdclass.ClassBattery), 0x03, s.battery})
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package device
+
+import (
+	"testing"
+
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+	"zcover/internal/vtime"
+)
+
+func newSensorRig(t *testing.T) (*Node, *MultilevelSensor, *[][]byte) {
+	t.Helper()
+	m := radio.NewMedium(vtime.NewSimClock())
+	hub := NewNode(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: 0x01, Name: "hub"})
+	var got [][]byte
+	hub.Handler = func(f *protocol.Frame) { got = append(got, append([]byte{}, f.Payload...)) }
+	sensor := NewMultilevelSensor(Config{Medium: m, Region: radio.RegionUS, Home: testHome, ID: 0x04, Name: "sensor"}, 0x01)
+	return hub, sensor, &got
+}
+
+func TestSensorWakeCycleTraffic(t *testing.T) {
+	_, sensor, got := newSensorRig(t)
+	sensor.SetTemperature(228) // 22.8 °C
+	if err := sensor.WakeCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 3 {
+		t.Fatalf("hub received %d frames, want wakeup+reading+battery", len(*got))
+	}
+	if (*got)[0][0] != 0x84 || (*got)[0][1] != 0x07 {
+		t.Fatalf("first frame = % X, want WAKE_UP NOTIFICATION", (*got)[0])
+	}
+	reading := (*got)[1]
+	if reading[0] != 0x31 || reading[1] != 0x05 || reading[2] != 0x01 {
+		t.Fatalf("reading = % X", reading)
+	}
+	if v := int(reading[4])<<8 | int(reading[5]); v != 228 {
+		t.Fatalf("value = %d, want 228", v)
+	}
+	if sensor.Reports() != 1 {
+		t.Fatalf("reports = %d", sensor.Reports())
+	}
+	if sensor.Awake() {
+		t.Fatal("sensor should sleep after the cycle")
+	}
+}
+
+func TestSensorSleepsBetweenCycles(t *testing.T) {
+	hub, sensor, got := newSensorRig(t)
+	if err := hub.Send(0x04, []byte{0x31, 0x04, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 0 {
+		t.Fatalf("sleeping sensor answered: %v", *got)
+	}
+	if sensor.Awake() {
+		t.Fatal("sensor should be asleep")
+	}
+}
+
+func TestSensorAnswersWhileAwake(t *testing.T) {
+	hub, sensor, got := newSensorRig(t)
+	sensor.awake = true
+	if err := hub.Send(0x04, []byte{0x31, 0x04, 0x01, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Send(0x04, []byte{0x80, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	if len(*got) != 2 {
+		t.Fatalf("awake sensor answers = %d, want 2", len(*got))
+	}
+	_ = sensor
+}
+
+func TestSensorJoinsOverTheAir(t *testing.T) {
+	m := radio.NewMedium(vtime.NewSimClock())
+	sensor := NewMultilevelSensor(Config{Medium: m, Region: radio.RegionUS, Home: 0xAAAA5555, ID: 0, Name: "factory"}, 0x01)
+	if err := sensor.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if !sensor.Node().LearnMode() {
+		t.Fatal("join did not enter learn mode")
+	}
+}

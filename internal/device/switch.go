@@ -1,0 +1,103 @@
+package device
+
+import (
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+)
+
+// BinarySwitch emulates testbed device D9: a GE/Jasco ZW4201-style legacy
+// smart switch with no encryption support (Table II). It processes BASIC
+// and SWITCH_BINARY in clear text — the injection-prone legacy behaviour
+// the paper's threat model describes.
+type BinarySwitch struct {
+	node     *Node
+	identity Identity
+	hub      protocol.NodeID
+	on       bool
+	setCount int
+}
+
+// NewBinarySwitch attaches a legacy binary switch to the testbed.
+func NewBinarySwitch(cfg Config, hub protocol.NodeID) *BinarySwitch {
+	s := &BinarySwitch{
+		hub: hub,
+		identity: Identity{
+			Basic:      BasicTypeRoutingSlave,
+			Generic:    GenericTypeSwitchBinary,
+			Specific:   0x01,
+			Capability: CapListening | CapRouting,
+			Security:   0, // no encryption support
+			Classes: []cmdclass.ClassID{
+				cmdclass.ClassBasic,
+				cmdclass.ClassSwitchBinary,
+				cmdclass.ClassManufacturerSpec,
+				cmdclass.ClassVersion,
+			},
+		},
+	}
+	s.node = NewNode(cfg)
+	s.node.Handler = s.handle
+	s.node.Repeater = true // mains-powered listening node: repeats for the mesh
+	return s
+}
+
+// Node exposes the underlying node.
+func (s *BinarySwitch) Node() *Node { return s.node }
+
+// Join puts the switch in learn mode and announces it to an including
+// controller (the user pressing the inclusion button).
+func (s *BinarySwitch) Join() error { return JoinNetwork(s.node, s.identity) }
+
+// Identity reports the advertised NIF identity.
+func (s *BinarySwitch) Identity() Identity { return s.identity }
+
+// On reports the switch state.
+func (s *BinarySwitch) On() bool { return s.on }
+
+// SetCount reports how many set operations were applied.
+func (s *BinarySwitch) SetCount() int { return s.setCount }
+
+// ReportStatus sends an unsolicited SWITCH_BINARY report to the hub —
+// periodic event traffic for the passive sniffer.
+func (s *BinarySwitch) ReportStatus() error {
+	v := byte(0x00)
+	if s.on {
+		v = 0xFF
+	}
+	return s.node.Send(s.hub, []byte{byte(cmdclass.ClassSwitchBinary), byte(cmdclass.CmdSwitchBinaryReport), v})
+}
+
+// handle is the switch's application dispatch.
+func (s *BinarySwitch) handle(f *protocol.Frame) {
+	if HandleInclusion(s.node, f) {
+		return
+	}
+	payload := f.Payload
+	if target, ok := IsNIFRequest(payload); ok && (target == 0 || target == s.node.ID()) {
+		_ = s.node.Send(f.Src, s.identity.NIFPayload())
+		return
+	}
+	if len(payload) < 2 {
+		return
+	}
+	switch cmdclass.ClassID(payload[0]) {
+	case cmdclass.ClassBasic, cmdclass.ClassSwitchBinary:
+		switch cmdclass.CommandID(payload[1]) {
+		case cmdclass.CmdSwitchBinarySet:
+			if len(payload) >= 3 {
+				s.on = payload[2] != 0x00
+				s.setCount++
+			}
+		case cmdclass.CmdSwitchBinaryGet:
+			v := byte(0x00)
+			if s.on {
+				v = 0xFF
+			}
+			_ = s.node.Send(f.Src, []byte{payload[0], byte(cmdclass.CmdSwitchBinaryReport), v})
+		}
+	case cmdclass.ClassVersion:
+		if cmdclass.CommandID(payload[1]) == cmdclass.CmdVersionGet {
+			_ = s.node.Send(f.Src, []byte{byte(cmdclass.ClassVersion), byte(cmdclass.CmdVersionReport), 0x06, 0x04, 0x05, 0x01, 0x02})
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package harness orchestrates complete experiments: it assembles a
+// testbed, runs the three ZCover phases (or a baseline fuzzer) end to end,
+// and regenerates every table and figure of the paper's evaluation
+// section. Each experiment driver lives in its own file (table3.go,
+// fig12.go, ...).
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/testbed"
+	"zcover/internal/vfuzz"
+	"zcover/internal/zcover/discover"
+	"zcover/internal/zcover/dongle"
+	"zcover/internal/zcover/fuzz"
+	"zcover/internal/zcover/mutate"
+	"zcover/internal/zcover/scan"
+)
+
+// PassiveScanWindow is how long campaigns sniff before interrogating the
+// target; the testbed schedules periodic slave reports inside it.
+const PassiveScanWindow = 2 * time.Minute
+
+// Campaign is one complete ZCover run against one testbed.
+type Campaign struct {
+	// Fingerprint is the phase-1 output.
+	Fingerprint scan.Fingerprint
+	// Discovery is the phase-2 output (zero value for β/γ, which skip it
+	// in whole or in part).
+	Discovery discover.Result
+	// Fuzz is the phase-3 campaign result.
+	Fuzz *fuzz.Result
+}
+
+// RunZCover executes the full ZCover pipeline against the testbed's
+// controller with the given strategy and fuzzing budget.
+func RunZCover(tb *testbed.Testbed, strategy fuzz.Strategy, duration time.Duration, seed int64) (*Campaign, error) {
+	return RunZCoverObserved(tb, strategy, duration, seed, nil)
+}
+
+// RunZCoverObserved is RunZCover with a live finding callback.
+func RunZCoverObserved(tb *testbed.Testbed, strategy fuzz.Strategy, duration time.Duration, seed int64, onFinding func(fuzz.Finding)) (*Campaign, error) {
+	reg, err := cmdclass.Load()
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	d := dongle.New(tb.Medium, tb.Region)
+
+	// Phase 1: known-properties fingerprinting over live traffic.
+	tb.ScheduleTraffic(12, 10*time.Second)
+	fp, err := scan.FingerprintTarget(d, PassiveScanWindow, 0)
+	if err != nil {
+		return nil, fmt.Errorf("harness: fingerprinting: %w", err)
+	}
+	out := &Campaign{Fingerprint: fp}
+
+	// Phase 2: unknown-properties discovery (full strategy only — the β
+	// ablation deliberately ignores unknown classes, γ ignores both).
+	var listed, prioritized []*cmdclass.Class
+	for _, id := range fp.Listed {
+		if cls, ok := reg.Get(id); ok {
+			listed = append(listed, cls)
+		}
+	}
+	if strategy == fuzz.StrategyFull {
+		out.Discovery, err = discover.Run(d, reg, fp)
+		if err != nil {
+			return nil, fmt.Errorf("harness: discovery: %w", err)
+		}
+		prioritized = out.Discovery.Prioritized
+	}
+
+	// Phase 3: position-sensitive mutation fuzzing.
+	var mut *mutate.Mutator
+	if strategy == fuzz.StrategyRandom {
+		mut = mutate.NewRandom(seed)
+	} else {
+		mut = mutate.New(mutate.Semantics{Controller: fp.Controller, KnownNodes: fp.Nodes}, seed)
+	}
+	queue := fuzz.BuildQueue(strategy, reg, listed, prioritized, seed)
+	engine, err := fuzz.New(d, fp, queue, mut, strategy, tb.Controller.Profile().Index, fuzz.Config{
+		Duration:  duration,
+		OnFinding: onFinding,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	tb.Bus.Subscribe(engine.Observe)
+	out.Fuzz = engine.Run()
+	out.Fuzz.CommandsCovered = len(out.Discovery.ConfirmedCommands)
+	return out, nil
+}
+
+// RunVFuzz executes the VFuzz baseline against the testbed's controller.
+// VFuzz fingerprints the network the same way (it, too, scans for home and
+// node IDs) and then fuzzes MAC frames for the budget.
+func RunVFuzz(tb *testbed.Testbed, duration time.Duration, seed int64) (*fuzz.Result, error) {
+	d := dongle.New(tb.Medium, tb.Region)
+	tb.ScheduleTraffic(12, 10*time.Second)
+	nets := scan.Passive(d, PassiveScanWindow)
+	if len(nets) == 0 {
+		return nil, fmt.Errorf("harness: vfuzz: no traffic observed")
+	}
+	net := nets[0]
+	engine := vfuzz.New(d, net.Home, net.Controller, vfuzz.Config{Duration: duration, Seed: seed})
+	tb.Bus.Subscribe(engine.Observe)
+	res := engine.Run()
+	res.Device = tb.Controller.Profile().Index
+	return res, nil
+}

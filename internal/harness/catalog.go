@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"time"
+
+	"zcover/internal/controller"
+	"zcover/internal/oracle"
+)
+
+// PaperBug is one row of the paper's Table III: the ground-truth catalogue
+// the experiment drivers reconcile campaign findings against.
+type PaperBug struct {
+	// ID is the paper's Bug ID (1–15).
+	ID controller.BugID
+	// Signature is the oracle signature the bug manifests as.
+	Signature string
+	// Affected is the paper's affected-device set.
+	Affected string
+	// CMDCL and CMD identify the trigger vector.
+	CMDCL, CMD byte
+	// Description matches the paper's wording.
+	Description string
+	// Duration is the outage length (0 = "Infinite").
+	Duration time.Duration
+	// RootCause is "Specification" or "Implementation".
+	RootCause string
+	// Confirmed is the CVE ID, or "confirmed" for acknowledged bugs.
+	Confirmed string
+	// PoCPayload is the canonical single-packet proof-of-concept
+	// application payload that reproduces the bug on a fresh device.
+	PoCPayload []byte
+	// PoCDevice is a testbed device the PoC manifests on.
+	PoCDevice string
+}
+
+// sig builds an oracle signature from its parts.
+func sig(kind oracle.Kind, class, cmd byte) string {
+	return oracle.Event{Kind: kind, Class: class, Cmd: cmd}.Signature()
+}
+
+// PaperBugs returns the fifteen Table III rows in paper order.
+func PaperBugs() []PaperBug {
+	return []PaperBug{
+		{controller.Bug01MemoryCorruption, sig(oracle.NodeTampered, 0x01, 0x0D), "D1 - D7",
+			0x01, 0x0D, "Memory corruption in existing device properties.", 0, "Specification", "CVE-2024-50929",
+			[]byte{0x01, 0x0D, 0x02, 0x00, 0x00, 0x00, 0x04, 0x10, 0x01}, "D1"},
+		{controller.Bug02RogueInsertion, sig(oracle.RogueNodeAdded, 0x01, 0x0D), "D1 - D7",
+			0x01, 0x0D, "Fake device insertion into controller's memory.", 0, "Specification", "CVE-2024-50920",
+			[]byte{0x01, 0x0D, 0x0A, 0x80, 0x00, 0x00, 0x01, 0x02, 0x01}, "D1"},
+		{controller.Bug03NodeRemoval, sig(oracle.NodeRemoved, 0x01, 0x0D), "D1 - D7",
+			0x01, 0x0D, "Remove valid device in the controller's memory.", 0, "Specification", "CVE-2024-50931",
+			[]byte{0x01, 0x0D, 0x02}, "D1"},
+		{controller.Bug04DatabaseOverwrite, sig(oracle.DatabaseOverwritten, 0x01, 0x0D), "D1 - D7",
+			0x01, 0x0D, "Overwriting the controller's device database.", 0, "Specification", "CVE-2024-50930",
+			[]byte{0x01, 0x0D, 0xFF}, "D1"},
+		{controller.Bug05AppDoS, sig(oracle.AppDoS, 0x01, 0x02), "D6 and D7",
+			0x01, 0x02, "DoS on smartphone app.", 0, "Specification", "CVE-2024-50921",
+			[]byte{0x01, 0x02, 0x01, 0xAA}, "D6"},
+		{controller.Bug06HostCrash, sig(oracle.HostCrash, 0x9F, 0x01), "D1 - D5",
+			0x9F, 0x01, "Z-Wave PC controller program crash.", 0, "Implementation", "CVE-2023-6640",
+			[]byte{0x9F, 0x01, 0xFF}, "D1"},
+		{controller.Bug07ResetLocallyHang, sig(oracle.ServiceHang, 0x5A, 0x01), "D1 - D7",
+			0x5A, 0x01, "Service interruption during the attack.", 68 * time.Second, "Specification", "CVE-2023-6533",
+			[]byte{0x5A, 0x01, 0x00}, "D1"},
+		{controller.Bug08GroupInfoHang, sig(oracle.ServiceHang, 0x59, 0x03), "D1 - D7",
+			0x59, 0x03, "Service interruption during the attack.", 67 * time.Second, "Specification", "CVE-2024-50924",
+			[]byte{0x59, 0x03, 0x07, 0x01}, "D1"},
+		{controller.Bug09FirmwareMDHang, sig(oracle.ServiceHang, 0x7A, 0x01), "D1 - D7",
+			0x7A, 0x01, "Service interruption during the attack.", 63 * time.Second, "Specification", "CVE-2023-6642",
+			[]byte{0x7A, 0x01, 0x00}, "D1"},
+		{controller.Bug10VersionGetHang, sig(oracle.ServiceHang, 0x86, 0x13), "D1 - D7",
+			0x86, 0x13, "Service interruption during the attack.", 4 * time.Second, "Specification", "CVE-2023-6641",
+			[]byte{0x86, 0x13, 0xE0}, "D1"},
+		{controller.Bug11CommandListHang, sig(oracle.ServiceHang, 0x59, 0x05), "D1 - D7",
+			0x59, 0x05, "Service interruption during the attack.", 62 * time.Second, "Specification", "CVE-2023-6643",
+			[]byte{0x59, 0x05, 0x07, 0x01}, "D1"},
+		{controller.Bug12WakeupRemoval, sig(oracle.WakeupCleared, 0x01, 0x0D), "D1 - D7",
+			0x01, 0x0D, "Remove the device's wakeup interval value.", 0, "Specification", "CVE-2024-50928",
+			[]byte{0x01, 0x0D, 0x02, 0x00}, "D1"},
+		{controller.Bug13HostDoS, sig(oracle.HostDoS, 0x73, 0x04), "D1 - D5",
+			0x73, 0x04, "DoS on the Z-Wave PC controller program.", 0, "Implementation", "confirmed",
+			[]byte{0x73, 0x04, 0x02, 0x00, 0xFF, 0x00}, "D1"},
+		{controller.Bug14BusyScanHang, sig(oracle.ServiceHang, 0x01, 0x04), "D1 - D7",
+			0x01, 0x04, "Z-Wave controller service disruption.", 4 * time.Minute, "Specification", "confirmed",
+			[]byte{0x01, 0x04, 0x1D}, "D1"},
+		{controller.Bug15FirmwareReqHang, sig(oracle.ServiceHang, 0x7A, 0x03), "D1 - D7",
+			0x7A, 0x03, "Service interruption during the attack.", 59 * time.Second, "Specification", "confirmed",
+			[]byte{0x7A, 0x03, 0x00}, "D1"},
+	}
+}
+
+// BugBySignature resolves an oracle signature to its Table III row.
+func BugBySignature(s string) (PaperBug, bool) {
+	for _, b := range PaperBugs() {
+		if b.Signature == s {
+			return b, true
+		}
+	}
+	return PaperBug{}, false
+}

@@ -1,0 +1,10 @@
+package harness
+
+import "zcover/internal/protocol"
+
+// protocolExample builds the canonical BASIC_SET example frame used by the
+// Fig. 1 driver: home CB95A34A, node 0x0F to the controller, payload
+// [0x20 0x01 0xFF] (BASIC SET 0xFF).
+func protocolExample() *protocol.Frame {
+	return protocol.NewDataFrame(0xCB95A34A, 0x0F, 0x01, []byte{0x20, 0x01, 0xFF})
+}

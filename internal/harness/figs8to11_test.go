@@ -1,0 +1,48 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigs8to11Views(t *testing.T) {
+	views, err := Figs8to11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 4 {
+		t.Fatalf("views = %d, want 4 (Figs 8-11)", len(views))
+	}
+	byFig := map[int]MemoryAttackView{}
+	for _, v := range views {
+		byFig[v.Figure] = v
+		if !strings.Contains(v.Before, "Door Lock") {
+			t.Errorf("fig %d: pristine view missing the lock:\n%s", v.Figure, v.Before)
+		}
+	}
+
+	// Fig 8: the lock's stored type changes.
+	if v := byFig[8]; strings.Contains(v.After, "Door Lock") {
+		t.Errorf("fig 8: lock type unchanged:\n%s", v.After)
+	}
+	// Fig 9: rogue controllers 10 and 200 appear.
+	if v := byFig[9]; !strings.Contains(v.After, "10 ") || !strings.Contains(v.After, "200") {
+		t.Errorf("fig 9: rogue IDs missing:\n%s", v.After)
+	}
+	// Fig 10: both slaves vanish.
+	if v := byFig[10]; strings.Contains(v.After, "Door Lock") || strings.Contains(v.After, "Binary Switch") {
+		t.Errorf("fig 10: slaves still present:\n%s", v.After)
+	}
+	// Fig 11: the table holds only fake devices (plus self).
+	if v := byFig[11]; strings.Contains(v.After, "Door Lock") ||
+		!strings.Contains(v.After, "10 ") || !strings.Contains(v.After, "200") {
+		t.Errorf("fig 11: overwrite not visible:\n%s", v.After)
+	}
+	// Rendered output embeds payload and both views.
+	s := byFig[8].String()
+	for _, want := range []string{"Figure 8", "01 0D 02", "before", "after"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered view missing %q", want)
+		}
+	}
+}

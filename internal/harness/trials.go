@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/fuzz"
+)
+
+// TrialSummary aggregates repeated campaigns against one device —
+// "following recommended fuzzing practices, we conducted five 24-hour
+// fuzzing trials for each controller" (§IV, Experiment environment).
+type TrialSummary struct {
+	// Device is the testbed index.
+	Device string
+	// Trials is the number of campaigns run.
+	Trials int
+	// PerTrial lists each trial's unique-vulnerability count.
+	PerTrial []int
+	// Union is the number of distinct signatures across all trials.
+	Union int
+	// Stable reports whether every trial found the same signature set.
+	Stable bool
+}
+
+// RunTrials executes n full-ZCover campaigns against the same device,
+// resetting the testbed between trials (as re-flashing/rebooting the
+// device does in the paper's methodology), with per-trial seeds.
+func RunTrials(index string, n int, duration time.Duration, baseSeed int64) (TrialSummary, error) {
+	if n <= 0 {
+		return TrialSummary{}, fmt.Errorf("harness: trials must be positive, got %d", n)
+	}
+	sum := TrialSummary{Device: index, Trials: n, Stable: true}
+	union := make(map[string]bool)
+	var first map[string]bool
+
+	for trial := 0; trial < n; trial++ {
+		seed := baseSeed + int64(trial)
+		tb, err := testbed.New(index, seed)
+		if err != nil {
+			return TrialSummary{}, err
+		}
+		c, err := RunZCover(tb, fuzz.StrategyFull, duration, seed)
+		if err != nil {
+			return TrialSummary{}, fmt.Errorf("harness: trial %d: %w", trial+1, err)
+		}
+		found := make(map[string]bool, len(c.Fuzz.Findings))
+		for _, f := range c.Fuzz.Findings {
+			found[f.Signature] = true
+			union[f.Signature] = true
+		}
+		sum.PerTrial = append(sum.PerTrial, len(found))
+		if first == nil {
+			first = found
+		} else if !sameSet(first, found) {
+			sum.Stable = false
+		}
+	}
+	sum.Union = len(union)
+	return sum, nil
+}
+
+// sameSet compares two signature sets.
+func sameSet(a, b map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,178 @@
+// Package oracle provides the anomaly-observation channel of the emulated
+// testbed. In the paper, crashes and misbehaviour are confirmed by a human
+// researcher watching the Z-Wave PC Controller program, the SmartThings
+// app, and the devices themselves ("Feedback & crash verification",
+// §IV-A). This package replaces that human with a typed event bus: device
+// models emit an Event when a vulnerability model fires, and the fuzzing
+// engines subscribe to classify and deduplicate their findings.
+package oracle
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Kind classifies an observed anomaly. The kinds map one-to-one onto the
+// observable effects of the paper's Table III bugs.
+type Kind int
+
+// Anomaly kinds. Enum starts at 1.
+const (
+	// NodeTampered: an existing node's stored properties were altered
+	// (bug 01, CVE-2024-50929; Fig 8).
+	NodeTampered Kind = iota + 1
+	// RogueNodeAdded: a fake node appeared in the controller's memory
+	// (bug 02, CVE-2024-50920; Fig 9).
+	RogueNodeAdded
+	// NodeRemoved: a valid node vanished from the controller's memory
+	// (bug 03, CVE-2024-50931; Fig 10).
+	NodeRemoved
+	// DatabaseOverwritten: the device table was wholesale replaced
+	// (bug 04, CVE-2024-50930; Fig 11).
+	DatabaseOverwritten
+	// AppDoS: the companion smartphone app stopped responding
+	// (bug 05, CVE-2024-50921).
+	AppDoS
+	// HostCrash: the PC controller host program crashed
+	// (bug 06, CVE-2023-6640).
+	HostCrash
+	// HostDoS: the PC controller host program wedged persistently
+	// (bug 13).
+	HostDoS
+	// ServiceHang: the controller stopped servicing traffic for a bounded
+	// period (bugs 07–11, 14, 15).
+	ServiceHang
+	// WakeupCleared: a sleeping device's wake-up interval was erased from
+	// controller memory (bug 12, CVE-2024-50928).
+	WakeupCleared
+	// MACParsingFault: the chipset mis-handled a malformed MAC frame (the
+	// legacy one-day class of bugs VFuzz finds; Table V).
+	MACParsingFault
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case NodeTampered:
+		return "node-tampered"
+	case RogueNodeAdded:
+		return "rogue-node-added"
+	case NodeRemoved:
+		return "node-removed"
+	case DatabaseOverwritten:
+		return "database-overwritten"
+	case AppDoS:
+		return "app-dos"
+	case HostCrash:
+		return "host-crash"
+	case HostDoS:
+		return "host-dos"
+	case ServiceHang:
+		return "service-hang"
+	case WakeupCleared:
+		return "wakeup-cleared"
+	case MACParsingFault:
+		return "mac-parsing-fault"
+	default:
+		return "Kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// Event is one observed anomaly.
+type Event struct {
+	// At is the simulated instant the anomaly was observed.
+	At time.Time
+	// Device is the testbed index of the affected device (e.g. "D4").
+	Device string
+	// Kind classifies the anomaly.
+	Kind Kind
+	// Class and Cmd identify the application payload that triggered it
+	// (zero for MAC-level faults).
+	Class byte
+	Cmd   byte
+	// Duration bounds the outage for ServiceHang events; zero means the
+	// effect is persistent until manual intervention ("Infinite" in
+	// Table III).
+	Duration time.Duration
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// Signature returns the deduplication key used to count unique
+// vulnerabilities: same observable effect from the same (class, command)
+// vector is the same bug.
+func (e Event) Signature() string {
+	return fmt.Sprintf("%s/0x%02X/0x%02X", e.Kind, e.Class, e.Cmd)
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	return fmt.Sprintf("[%s] %s %s cmdcl=0x%02X cmd=0x%02X dur=%s: %s",
+		e.At.Format("15:04:05.000"), e.Device, e.Kind, e.Class, e.Cmd, e.Duration, e.Detail)
+}
+
+// Bus collects anomaly events and fans them out to subscribers. The zero
+// value is ready to use. Bus is safe for concurrent use.
+type Bus struct {
+	mu     sync.Mutex
+	events []Event
+	subs   []func(Event)
+}
+
+// Subscribe registers a callback invoked synchronously for every event
+// emitted after the call.
+func (b *Bus) Subscribe(fn func(Event)) {
+	if fn == nil {
+		panic("oracle: Subscribe called with nil callback")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs = append(b.subs, fn)
+}
+
+// Emit records an event and notifies subscribers.
+func (b *Bus) Emit(e Event) {
+	b.mu.Lock()
+	b.events = append(b.events, e)
+	subs := make([]func(Event), len(b.subs))
+	copy(subs, b.subs)
+	b.mu.Unlock()
+	for _, fn := range subs {
+		fn(e)
+	}
+}
+
+// Events returns a copy of all recorded events in emission order.
+func (b *Bus) Events() []Event {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Event, len(b.events))
+	copy(out, b.events)
+	return out
+}
+
+// UniqueSignatures returns the distinct event signatures observed, in
+// first-seen order.
+func (b *Bus) UniqueSignatures() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	seen := make(map[string]bool, len(b.events))
+	var out []string
+	for _, e := range b.events {
+		sig := e.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, sig)
+		}
+	}
+	return out
+}
+
+// Reset discards recorded events (subscribers stay).
+func (b *Bus) Reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.events = nil
+}

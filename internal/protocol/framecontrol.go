@@ -1,0 +1,133 @@
+package protocol
+
+import "strconv"
+
+// HeaderType is the MAC frame kind carried in frame-control byte P1.
+type HeaderType int
+
+// G.9959 header types. Enum starts at 1; the zero value is invalid.
+const (
+	// HeaderSinglecast is a frame addressed to one node (or broadcast).
+	HeaderSinglecast HeaderType = iota + 1
+	// HeaderMulticast is a frame addressed to a node mask.
+	HeaderMulticast
+	// HeaderAck is a transfer acknowledgement.
+	HeaderAck
+	// HeaderRouted is a frame carrying a source-routing header.
+	HeaderRouted
+)
+
+// String implements fmt.Stringer.
+func (t HeaderType) String() string {
+	switch t {
+	case HeaderSinglecast:
+		return "singlecast"
+	case HeaderMulticast:
+		return "multicast"
+	case HeaderAck:
+		return "ack"
+	case HeaderRouted:
+		return "routed"
+	default:
+		return "HeaderType(" + strconv.Itoa(int(t)) + ")"
+	}
+}
+
+// Frame-control wire encoding. P1 carries the header type in its low nibble
+// and option flags in the high nibble; P2 carries the 4-bit sequence number
+// and beam/routing flags, following G.9959 §8.1.3.
+const (
+	p1HeaderMask   = 0x0F
+	p1AckRequested = 0x40
+	p1LowPower     = 0x20
+	p1SpeedMod     = 0x10
+
+	p2SeqMask    = 0x0F
+	p2BeamWakeup = 0x10
+	p2RoutedFlag = 0x80
+
+	p1Singlecast = 0x01
+	p1Multicast  = 0x02
+	p1Ack        = 0x03
+	p1RoutedVal  = 0x08
+)
+
+// FrameControl models the two frame-control bytes (P1, P2) of the MAC
+// header. The zero value is not a valid singlecast control word; use
+// NewFrameControl or fill Header explicitly.
+type FrameControl struct {
+	// Header selects the MAC frame kind.
+	Header HeaderType
+	// AckRequested asks the receiver to return a transfer ack.
+	AckRequested bool
+	// LowPower marks a reduced-power transmission.
+	LowPower bool
+	// SpeedModified marks a frame sent at a non-default data rate.
+	SpeedModified bool
+	// Beam marks a frame preceded by a wake-up beam (FLiRS devices).
+	Beam bool
+	// Sequence is the 4-bit MAC sequence number.
+	Sequence byte
+}
+
+// NewFrameControl returns a singlecast control word with the ack bit set,
+// which is how ordinary Z-Wave application traffic is sent.
+func NewFrameControl(seq byte) FrameControl {
+	return FrameControl{Header: HeaderSinglecast, AckRequested: true, Sequence: seq & p2SeqMask}
+}
+
+// encode packs the control word into the two wire bytes.
+func (fc FrameControl) encode() (p1, p2 byte) {
+	switch fc.Header {
+	case HeaderMulticast:
+		p1 = p1Multicast
+	case HeaderAck:
+		p1 = p1Ack
+	case HeaderRouted:
+		p1 = p1RoutedVal
+	default:
+		p1 = p1Singlecast
+	}
+	if fc.AckRequested {
+		p1 |= p1AckRequested
+	}
+	if fc.LowPower {
+		p1 |= p1LowPower
+	}
+	if fc.SpeedModified {
+		p1 |= p1SpeedMod
+	}
+	p2 = fc.Sequence & p2SeqMask
+	if fc.Beam {
+		p2 |= p2BeamWakeup
+	}
+	if fc.Header == HeaderRouted {
+		p2 |= p2RoutedFlag
+	}
+	return p1, p2
+}
+
+// decodeFrameControl unpacks the two wire bytes. Unknown header-type values
+// decode as singlecast, mirroring how tolerant real receivers behave; the
+// fuzzers rely on this leniency to deliver malformed frames to the victim's
+// application layer rather than having the codec reject them.
+func decodeFrameControl(p1, p2 byte) FrameControl {
+	fc := FrameControl{
+		AckRequested:  p1&p1AckRequested != 0,
+		LowPower:      p1&p1LowPower != 0,
+		SpeedModified: p1&p1SpeedMod != 0,
+		Beam:          p2&p2BeamWakeup != 0,
+		Sequence:      p2 & p2SeqMask,
+	}
+	switch p1 & p1HeaderMask {
+	case p1Multicast:
+		fc.Header = HeaderMulticast
+	case p1Ack:
+		fc.Header = HeaderAck
+	case p1RoutedVal:
+		fc.Header = HeaderRouted
+	default:
+		fc.Header = HeaderSinglecast
+	}
+	return fc
+}

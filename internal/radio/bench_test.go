@@ -1,0 +1,41 @@
+package radio
+
+import (
+	"testing"
+
+	"zcover/internal/vtime"
+)
+
+func BenchmarkTransmitFanout(b *testing.B) {
+	m := NewMedium(vtime.NewSimClock())
+	tx := m.Attach("tx", RegionUS)
+	for i := 0; i < 8; i++ {
+		m.Attach("rx", RegionUS).SetReceiver(func(Capture) {})
+	}
+	raw := make([]byte, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Transmit(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransmitWithRangeModel(b *testing.B) {
+	m := NewMedium(vtime.NewSimClock())
+	m.SetRange(40)
+	tx := m.Attach("tx", RegionUS)
+	tx.Place(0, 0)
+	for i := 0; i < 8; i++ {
+		rx := m.Attach("rx", RegionUS)
+		rx.Place(float64(i*10), 0)
+		rx.SetReceiver(func(Capture) {})
+	}
+	raw := make([]byte, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Transmit(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

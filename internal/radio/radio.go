@@ -1,0 +1,269 @@
+// Package radio simulates the sub-GHz Z-Wave air interface. It substitutes
+// for the paper's hardware: the Yardstick One transceiver dongle, the
+// 868/908 MHz RF band, and the physical placement of devices 10–70 m from
+// the attacker.
+//
+// The medium is a shared broadcast domain per region (frequency). A
+// transmission is delivered to every other attached transceiver tuned to
+// the same region after the frame's airtime has elapsed on the simulated
+// clock; receivers filter by home ID themselves, exactly as real Z-Wave
+// chipsets do, which is what makes passive sniffing possible. Loss and
+// noise can be injected for robustness testing; both default to off so
+// campaigns are deterministic.
+package radio
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"sync"
+	"time"
+
+	"zcover/internal/protocol"
+	"zcover/internal/vtime"
+)
+
+// Region selects the regional RF profile (ITU-T G.9959 regional annexes).
+type Region int
+
+// Supported regions. Enum starts at 1.
+const (
+	// RegionEU is the 868.42 MHz European profile.
+	RegionEU Region = iota + 1
+	// RegionUS is the 908.42 MHz North-American profile.
+	RegionUS
+)
+
+// String implements fmt.Stringer.
+func (r Region) String() string {
+	switch r {
+	case RegionEU:
+		return "EU 868.42 MHz"
+	case RegionUS:
+		return "US 908.42 MHz"
+	default:
+		return "Region(" + strconv.Itoa(int(r)) + ")"
+	}
+}
+
+// Air-interface timing constants for the R3 (100 kbit/s) data rate.
+const (
+	// bitsPerByte includes line coding overhead.
+	bitsPerByte = 8
+	// DataRateBitsPerSec is the R3 PHY rate.
+	DataRateBitsPerSec = 100_000
+	// PreambleBytes covers preamble and start-of-frame delimiter.
+	PreambleBytes = 10
+	// TurnaroundTime is the RX/TX switch time added to every transmission.
+	TurnaroundTime = 1 * time.Millisecond
+)
+
+// Airtime computes how long a raw frame occupies the medium.
+func Airtime(frameLen int) time.Duration {
+	bits := (frameLen + PreambleBytes) * bitsPerByte
+	return TurnaroundTime + time.Duration(bits)*time.Second/DataRateBitsPerSec
+}
+
+// Medium errors.
+var (
+	// ErrFrameTooLong rejects transmissions above the MAC limit.
+	ErrFrameTooLong = errors.New("radio: frame exceeds MAC limit")
+	// ErrDetached rejects use of a transceiver after Detach.
+	ErrDetached = errors.New("radio: transceiver detached")
+)
+
+// Capture is one frame observed on the air, with its receive timestamp.
+type Capture struct {
+	// At is the simulated instant the frame finished arriving.
+	At time.Time
+	// Raw is a copy of the frame bytes as transmitted.
+	Raw []byte
+}
+
+// Medium is the shared simulated air. Construct with NewMedium. Medium is
+// safe for concurrent use, though the simulation driver is single-threaded.
+type Medium struct {
+	clock *vtime.SimClock
+
+	mu       sync.Mutex
+	nodes    []*Transceiver
+	lossP    float64
+	noiseP   float64
+	rng      *rand.Rand
+	txLog    int
+	rangeLim float64
+}
+
+// NewMedium creates an empty air over the given simulated clock.
+func NewMedium(clock *vtime.SimClock) *Medium {
+	if clock == nil {
+		panic("radio: NewMedium requires a clock")
+	}
+	return &Medium{clock: clock, rng: rand.New(rand.NewSource(1))}
+}
+
+// Clock exposes the medium's simulated clock.
+func (m *Medium) Clock() *vtime.SimClock { return m.clock }
+
+// SetImpairments configures random frame loss and single-byte noise
+// corruption probabilities (both in [0,1]) with a deterministic seed.
+// Impairments default to zero.
+func (m *Medium) SetImpairments(lossP, noiseP float64, seed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lossP, m.noiseP = lossP, noiseP
+	m.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetRange enables the geometric propagation model: transmissions reach
+// only transceivers within r metres of the sender. Transceivers without an
+// assigned position are treated as always in range (back-compatible
+// default for sniffers and tests). Zero disables the model.
+func (m *Medium) SetRange(r float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.rangeLim = r
+}
+
+// TransmitCount reports how many frames have been put on the air in total.
+func (m *Medium) TransmitCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.txLog
+}
+
+// Attach adds a transceiver tuned to the given region. The name appears in
+// diagnostics only.
+func (m *Medium) Attach(name string, region Region) *Transceiver {
+	t := &Transceiver{medium: m, name: name, region: region}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes = append(m.nodes, t)
+	return t
+}
+
+// transmit schedules delivery of raw to all other transceivers in region.
+func (m *Medium) transmit(from *Transceiver, raw []byte) error {
+	if len(raw) > protocol.MaxFrameSize {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(raw))
+	}
+	m.mu.Lock()
+	m.txLog++
+	targets := make([]*Transceiver, 0, len(m.nodes))
+	for _, t := range m.nodes {
+		if t != from && t.region == from.region && !t.detached && m.inRange(from, t) {
+			targets = append(targets, t)
+		}
+	}
+	lossP, noiseP := m.lossP, m.noiseP
+	var lossDraws []float64
+	var noiseDraws []float64
+	if lossP > 0 || noiseP > 0 {
+		for range targets {
+			lossDraws = append(lossDraws, m.rng.Float64())
+			noiseDraws = append(noiseDraws, m.rng.Float64())
+		}
+	}
+	noiseIdx, noiseBit := 0, byte(0)
+	if noiseP > 0 && len(raw) > 0 {
+		noiseIdx = m.rng.Intn(len(raw))
+		noiseBit = 1 << m.rng.Intn(8)
+	}
+	m.mu.Unlock()
+
+	at := m.clock.Now().Add(Airtime(len(raw)))
+	for i, t := range targets {
+		if lossP > 0 && lossDraws[i] < lossP {
+			continue
+		}
+		frame := make([]byte, len(raw))
+		copy(frame, raw)
+		if noiseP > 0 && len(frame) > 0 && noiseDraws[i] < noiseP {
+			frame[noiseIdx] ^= noiseBit
+		}
+		t.deliver(Capture{At: at, Raw: frame})
+	}
+	m.clock.Schedule(Airtime(len(raw)), func() {})
+	return nil
+}
+
+// inRange applies the propagation model (callers hold m.mu).
+func (m *Medium) inRange(a, b *Transceiver) bool {
+	if m.rangeLim <= 0 || !a.placed || !b.placed {
+		return true
+	}
+	dx, dy := a.x-b.x, a.y-b.y
+	return dx*dx+dy*dy <= m.rangeLim*m.rangeLim
+}
+
+// Transceiver is one radio endpoint: a device chipset, the attacker's
+// dongle, or a passive sniffer.
+type Transceiver struct {
+	medium   *Medium
+	name     string
+	region   Region
+	detached bool
+	x, y     float64
+	placed   bool
+
+	mu      sync.Mutex
+	handler func(Capture)
+	txCount int
+	rxCount int
+}
+
+// Name reports the diagnostic name given at Attach.
+func (t *Transceiver) Name() string { return t.name }
+
+// Region reports the RF region the transceiver is tuned to.
+func (t *Transceiver) Region() Region { return t.region }
+
+// SetReceiver installs the frame-delivery callback. Passing nil silences
+// the transceiver (frames still count as received).
+func (t *Transceiver) SetReceiver(fn func(Capture)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = fn
+}
+
+// Transmit puts a raw frame on the air.
+func (t *Transceiver) Transmit(raw []byte) error {
+	if t.detached {
+		return ErrDetached
+	}
+	t.mu.Lock()
+	t.txCount++
+	t.mu.Unlock()
+	return t.medium.transmit(t, raw)
+}
+
+// Detach removes the transceiver from the air; it no longer receives and
+// can no longer transmit.
+func (t *Transceiver) Detach() { t.detached = true }
+
+// Place assigns the transceiver a position (metres) for the geometric
+// propagation model. Unplaced transceivers are always in range.
+func (t *Transceiver) Place(x, y float64) {
+	t.medium.mu.Lock()
+	defer t.medium.mu.Unlock()
+	t.x, t.y, t.placed = x, y, true
+}
+
+// Stats reports frames transmitted and received by this transceiver.
+func (t *Transceiver) Stats() (tx, rx int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.txCount, t.rxCount
+}
+
+// deliver hands a capture to the installed handler.
+func (t *Transceiver) deliver(c Capture) {
+	t.mu.Lock()
+	t.rxCount++
+	fn := t.handler
+	t.mu.Unlock()
+	if fn != nil {
+		fn(c)
+	}
+}

@@ -1,0 +1,101 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	// X is the elapsed time.
+	X time.Duration
+	// Y is the value (e.g. cumulative packets).
+	Y int
+	// Mark flags the point (a vulnerability discovery in Fig. 12's
+	// red-cross sense); marked points render as 'X'.
+	Mark bool
+}
+
+// Chart renders a time series as a terminal scatter plot, the ASCII
+// analogue of the paper's Figure 12 panels.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// Width and Height size the plot area in characters. Zero values
+	// default to 64×16.
+	Width, Height int
+	// Points is the series.
+	Points []Point
+}
+
+// String renders the chart.
+func (c *Chart) String() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+	if len(c.Points) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+
+	var maxX time.Duration
+	maxY := 1
+	for _, p := range c.Points {
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	if maxX <= 0 {
+		maxX = time.Second
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(p Point, glyph byte) {
+		col := int(int64(p.X) * int64(w-1) / int64(maxX))
+		row := h - 1 - p.Y*(h-1)/maxY
+		if col < 0 || col >= w || row < 0 || row >= h {
+			return
+		}
+		if glyph == 'X' || grid[row][col] == ' ' {
+			grid[row][col] = glyph
+		}
+	}
+	for _, p := range c.Points {
+		if !p.Mark {
+			plot(p, '.')
+		}
+	}
+	for _, p := range c.Points {
+		if p.Mark {
+			plot(p, 'X')
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, "%s (max %d)\n", c.YLabel, maxY)
+	}
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", w))
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, " %s: 0 .. %s   ('X' marks a discovery)\n", c.XLabel, maxX.Round(time.Second))
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+// Package report renders experiment outputs: ASCII tables matching the
+// paper's table layout, and CSV series for figures.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid.
+type Table struct {
+	// Title is printed above the grid.
+	Title string
+	// Headers names the columns.
+	Headers []string
+	// Rows holds the cell values.
+	Rows [][]string
+	// Notes are printed below the grid, one per line.
+	Notes []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table with box-drawing-free ASCII, column-aligned.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "%s\n", n)
+	}
+	return b.String()
+}
+
+// WriteTo implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, t.String())
+	return int64(n), err
+}
+
+// CSV is a figure data series.
+type CSV struct {
+	// Headers names the columns.
+	Headers []string
+	// Rows holds the values.
+	Rows [][]string
+}
+
+// AddRow appends a row.
+func (c *CSV) AddRow(cells ...string) { c.Rows = append(c.Rows, cells) }
+
+// String renders comma-separated values (cells are never quoted; the
+// figure series contain only numbers and simple identifiers).
+func (c *CSV) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(c.Headers, ","))
+	b.WriteByte('\n')
+	for _, row := range c.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Seconds formats a duration as whole seconds for figure axes.
+func Seconds(d time.Duration) string {
+	return fmt.Sprintf("%d", int(d.Seconds()))
+}
+
+// DurationCell formats Table III's Duration column: bounded outages in
+// seconds/minutes, unbounded effects as "Infinite".
+func DurationCell(d time.Duration) string {
+	if d == 0 {
+		return "Infinite"
+	}
+	if d >= time.Minute && d%time.Minute == 0 {
+		return fmt.Sprintf("%d min", int(d.Minutes()))
+	}
+	return fmt.Sprintf("%d sec", int(d.Seconds()))
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		Title:   "Demo",
+		Headers: []string{"ID", "Value"},
+		Notes:   []string{"note line"},
+	}
+	tb.AddRow("D1", "17")
+	tb.AddRow("D2-long", "3")
+	out := tb.String()
+	for _, want := range []string{"Demo", "ID", "Value", "D1", "D2-long", "note line", "--"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows + note.
+	if len(lines) != 6 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: each data line at least as wide as the widest cell.
+	if !strings.HasPrefix(lines[3], "D1     ") {
+		t.Errorf("column not padded: %q", lines[3])
+	}
+}
+
+func TestTableWriteTo(t *testing.T) {
+	tb := &Table{Headers: []string{"A"}}
+	tb.AddRow("x")
+	var sb strings.Builder
+	n, err := tb.WriteTo(&sb)
+	if err != nil || n == 0 || sb.Len() == 0 {
+		t.Fatalf("WriteTo = %d, %v", n, err)
+	}
+}
+
+func TestCSVRendering(t *testing.T) {
+	c := &CSV{Headers: []string{"elapsed_s", "packets"}}
+	c.AddRow("60", "85")
+	c.AddRow("120", "170")
+	want := "elapsed_s,packets\n60,85\n120,170\n"
+	if got := c.String(); got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(90 * time.Second); got != "90" {
+		t.Fatalf("Seconds = %q", got)
+	}
+	if got := Seconds(1500 * time.Millisecond); got != "1" {
+		t.Fatalf("Seconds = %q, want truncation", got)
+	}
+}
+
+func TestDurationCell(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                "Infinite",
+		4 * time.Second:  "4 sec",
+		67 * time.Second: "67 sec",
+		4 * time.Minute:  "4 min",
+	}
+	for d, want := range cases {
+		if got := DurationCell(d); got != want {
+			t.Errorf("DurationCell(%s) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestChartRendersSeriesAndMarks(t *testing.T) {
+	ch := &Chart{
+		Title: "demo", XLabel: "time", YLabel: "packets",
+		Width: 40, Height: 8,
+		Points: []Point{
+			{X: 0, Y: 0},
+			{X: 100 * time.Second, Y: 120},
+			{X: 200 * time.Second, Y: 260},
+			{X: 150 * time.Second, Y: 180, Mark: true},
+		},
+	}
+	out := ch.String()
+	for _, want := range []string{"demo", "packets (max 260)", "X", ".", "time: 0 .. 3m20s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// title + ylabel + 8 rows + axis + xlabel + trailing empty
+	if len(lines) != 13 {
+		t.Fatalf("chart has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestChartEmptyAndDefaults(t *testing.T) {
+	ch := &Chart{Title: "empty"}
+	if !strings.Contains(ch.String(), "(no data)") {
+		t.Fatal("empty chart rendering wrong")
+	}
+	ch.Points = []Point{{X: time.Second, Y: 5}}
+	if out := ch.String(); !strings.Contains(out, "|") {
+		t.Fatalf("default-size chart broken:\n%s", out)
+	}
+}

@@ -1,0 +1,176 @@
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/subtle"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// CCM parameters fixed by the Z-Wave S2 specification: 13-byte nonce and
+// 8-byte authentication tag, leaving a 2-byte CCM length field.
+const (
+	// CCMNonceSize is the nonce length in bytes.
+	CCMNonceSize = 13
+	// CCMTagSize is the authentication tag length in bytes.
+	CCMTagSize = 8
+)
+
+// ErrCCMAuth is returned when CCM tag verification fails.
+var ErrCCMAuth = errors.New("security: CCM authentication failed")
+
+// ccm implements AES-CCM (RFC 3610) as a cipher.AEAD with the S2 parameter
+// set (L=2, M=8).
+type ccm struct {
+	block cipher.Block
+}
+
+var _ cipher.AEAD = (*ccm)(nil)
+
+// NewCCM returns an AES-CCM AEAD under a 16-byte key with the S2 parameter
+// set (13-byte nonce, 8-byte tag).
+func NewCCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("security: CCM key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	return &ccm{block: block}, nil
+}
+
+// NonceSize implements cipher.AEAD.
+func (*ccm) NonceSize() int { return CCMNonceSize }
+
+// Overhead implements cipher.AEAD.
+func (*ccm) Overhead() int { return CCMTagSize }
+
+// maxPayload is the largest plaintext CCM with L=2 can frame.
+const maxPayload = 1<<16 - 1
+
+// Seal implements cipher.AEAD.
+func (c *ccm) Seal(dst, nonce, plaintext, aad []byte) []byte {
+	if len(nonce) != CCMNonceSize {
+		panic("security: bad CCM nonce size")
+	}
+	if len(plaintext) > maxPayload {
+		panic("security: CCM plaintext too large")
+	}
+	tag := c.authTag(nonce, plaintext, aad)
+
+	out := make([]byte, len(plaintext)+CCMTagSize)
+	c.ctrCrypt(nonce, out[:len(plaintext)], plaintext, 1)
+
+	// Encrypt the tag with counter block 0.
+	var s0 [BlockSize]byte
+	c.ctrBlock(nonce, 0, &s0)
+	for i := 0; i < CCMTagSize; i++ {
+		out[len(plaintext)+i] = tag[i] ^ s0[i]
+	}
+	return append(dst, out...)
+}
+
+// Open implements cipher.AEAD.
+func (c *ccm) Open(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
+	if len(nonce) != CCMNonceSize {
+		return nil, fmt.Errorf("security: bad CCM nonce size %d", len(nonce))
+	}
+	if len(ciphertext) < CCMTagSize {
+		return nil, fmt.Errorf("security: CCM ciphertext shorter than tag")
+	}
+	body := ciphertext[:len(ciphertext)-CCMTagSize]
+	gotTag := ciphertext[len(ciphertext)-CCMTagSize:]
+
+	plaintext := make([]byte, len(body))
+	c.ctrCrypt(nonce, plaintext, body, 1)
+
+	wantTag := c.authTag(nonce, plaintext, aad)
+	var s0 [BlockSize]byte
+	c.ctrBlock(nonce, 0, &s0)
+	expect := make([]byte, CCMTagSize)
+	for i := 0; i < CCMTagSize; i++ {
+		expect[i] = wantTag[i] ^ s0[i]
+	}
+	if subtle.ConstantTimeCompare(gotTag, expect) != 1 {
+		return nil, ErrCCMAuth
+	}
+	return append(dst, plaintext...), nil
+}
+
+// authTag computes the CBC-MAC portion of CCM (the T value, untruncated
+// beyond tag size).
+func (c *ccm) authTag(nonce, plaintext, aad []byte) [CCMTagSize]byte {
+	// B0: flags | nonce | message length.
+	var b0 [BlockSize]byte
+	flags := byte(((CCMTagSize - 2) / 2) << 3) // M' field
+	flags |= 1                                 // L' = L-1 = 1
+	if len(aad) > 0 {
+		flags |= 1 << 6
+	}
+	b0[0] = flags
+	copy(b0[1:1+CCMNonceSize], nonce)
+	binary.BigEndian.PutUint16(b0[BlockSize-2:], uint16(len(plaintext)))
+
+	var x [BlockSize]byte
+	c.block.Encrypt(x[:], b0[:])
+
+	// Associated data blocks, prefixed with its 2-byte length encoding
+	// (S2 AAD is always well under the 0xFEFF threshold).
+	if len(aad) > 0 {
+		var hdr [2]byte
+		binary.BigEndian.PutUint16(hdr[:], uint16(len(aad)))
+		buf := make([]byte, 0, 2+len(aad))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, aad...)
+		for len(buf)%BlockSize != 0 {
+			buf = append(buf, 0)
+		}
+		for i := 0; i < len(buf); i += BlockSize {
+			xorBytes(&x, buf[i:i+BlockSize])
+			c.block.Encrypt(x[:], x[:])
+		}
+	}
+
+	// Payload blocks.
+	for i := 0; i < len(plaintext); i += BlockSize {
+		end := i + BlockSize
+		if end > len(plaintext) {
+			end = len(plaintext)
+		}
+		xorBytes(&x, plaintext[i:end])
+		c.block.Encrypt(x[:], x[:])
+	}
+
+	var tag [CCMTagSize]byte
+	copy(tag[:], x[:CCMTagSize])
+	return tag
+}
+
+// ctrBlock writes keystream block i for the nonce into out.
+func (c *ccm) ctrBlock(nonce []byte, counter uint16, out *[BlockSize]byte) {
+	var a [BlockSize]byte
+	a[0] = 1 // L' = 1
+	copy(a[1:1+CCMNonceSize], nonce)
+	binary.BigEndian.PutUint16(a[BlockSize-2:], counter)
+	c.block.Encrypt(out[:], a[:])
+}
+
+// ctrCrypt XORs src with the CTR keystream starting at the given counter.
+func (c *ccm) ctrCrypt(nonce []byte, dst, src []byte, startCounter uint16) {
+	var ks [BlockSize]byte
+	counter := startCounter
+	for i := 0; i < len(src); i += BlockSize {
+		c.ctrBlock(nonce, counter, &ks)
+		counter++
+		end := i + BlockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		for j := i; j < end; j++ {
+			dst[j] = src[j] ^ ks[j-i]
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package security implements the Z-Wave transport encapsulations used by
+// the emulated testbed: Security 0 (AES-128 with the specification's
+// fixed-temp-key inclusion weakness) and Security 2 (X25519 ECDH key
+// agreement, AES-128-CMAC key derivation, AES-128-CCM authenticated
+// encryption with SPAN nonce synchronisation).
+//
+// Everything is built on the Go standard library: crypto/aes, crypto/ecdh,
+// crypto/subtle. AES-CMAC (RFC 4493) and AES-CCM (RFC 3610) are implemented
+// here because the standard library does not ship them.
+package security
+
+import (
+	"crypto/aes"
+	"fmt"
+)
+
+const (
+	// KeySize is the AES-128 key size used by every Z-Wave security class.
+	KeySize = 16
+	// BlockSize is the AES block size.
+	BlockSize = aes.BlockSize
+)
+
+// CMAC computes AES-CMAC (RFC 4493) of msg under a 16-byte key.
+func CMAC(key, msg []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("security: CMAC key must be %d bytes, got %d", KeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+
+	k1, k2 := cmacSubkeys(block.Encrypt)
+
+	n := (len(msg) + BlockSize - 1) / BlockSize
+	lastComplete := n > 0 && len(msg)%BlockSize == 0
+	if n == 0 {
+		n = 1
+	}
+
+	var last [BlockSize]byte
+	if lastComplete {
+		copy(last[:], msg[(n-1)*BlockSize:])
+		xorBlock(&last, k1)
+	} else {
+		rem := msg[(n-1)*BlockSize:]
+		copy(last[:], rem)
+		last[len(rem)] = 0x80
+		xorBlock(&last, k2)
+	}
+
+	var x [BlockSize]byte
+	for i := 0; i < n-1; i++ {
+		xorBytes(&x, msg[i*BlockSize:(i+1)*BlockSize])
+		block.Encrypt(x[:], x[:])
+	}
+	xorBlock(&x, last)
+	block.Encrypt(x[:], x[:])
+
+	out := make([]byte, BlockSize)
+	copy(out, x[:])
+	return out, nil
+}
+
+// mustCMAC is CMAC for keys known to be the right length.
+func mustCMAC(key, msg []byte) []byte {
+	out, err := CMAC(key, msg)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// cmacSubkeys derives the RFC 4493 subkeys K1 and K2.
+func cmacSubkeys(encrypt func(dst, src []byte)) (k1, k2 [BlockSize]byte) {
+	var l [BlockSize]byte
+	encrypt(l[:], l[:])
+	k1 = dbl(l)
+	k2 = dbl(k1)
+	return k1, k2
+}
+
+// dbl is doubling in GF(2^128) with the CMAC reduction constant 0x87.
+func dbl(in [BlockSize]byte) (out [BlockSize]byte) {
+	carry := byte(0)
+	for i := BlockSize - 1; i >= 0; i-- {
+		b := in[i]
+		out[i] = b<<1 | carry
+		carry = b >> 7
+	}
+	if carry != 0 {
+		out[BlockSize-1] ^= 0x87
+	}
+	return out
+}
+
+func xorBlock(dst *[BlockSize]byte, src [BlockSize]byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}
+
+func xorBytes(dst *[BlockSize]byte, src []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,222 @@
+package security
+
+import (
+	"crypto/aes"
+	"crypto/rand"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Security 0 (S0) encapsulation: the legacy AES-128 transport. Key
+// derivation, OFB encryption, and CBC-MAC authentication follow the S0
+// specification. The scheme's well-known weakness — the network key is
+// transferred during inclusion under a *fixed all-zero temporary key*
+// (Fouladi & Ghanoun, Black Hat 2013; paper §II-A1) — is reproduced
+// faithfully: see S0TempKey and the s0 inclusion test, which demonstrates
+// that a passive sniffer recovers the network key.
+
+const (
+	// S0NonceSize is the size of each S0 nonce half (sender/receiver).
+	S0NonceSize = 8
+	// S0MACSize is the truncated CBC-MAC length.
+	S0MACSize = 8
+)
+
+// ErrS0Auth indicates S0 MAC verification failed.
+var ErrS0Auth = errors.New("security: S0 authentication failed")
+
+// S0TempKey returns the temporary key protecting the S0 network-key
+// transfer. The specification fixes it to all zeros — the root cause of the
+// S0 downgrade/MITM weakness.
+func S0TempKey() []byte { return make([]byte, KeySize) }
+
+// s0 key-derivation constants: the network key encrypts a fixed pattern to
+// produce the encryption and authentication keys.
+var (
+	s0EncPattern  = repeatByte(0xAA, BlockSize)
+	s0AuthPattern = repeatByte(0x55, BlockSize)
+)
+
+func repeatByte(b byte, n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// S0Keys holds the derived S0 encryption and authentication keys.
+type S0Keys struct {
+	// Enc is the AES-OFB encryption key.
+	Enc []byte
+	// Auth is the CBC-MAC authentication key.
+	Auth []byte
+}
+
+// DeriveS0Keys expands a 16-byte network key into the S0 key pair.
+func DeriveS0Keys(networkKey []byte) (S0Keys, error) {
+	if len(networkKey) != KeySize {
+		return S0Keys{}, fmt.Errorf("security: S0 network key must be %d bytes, got %d", KeySize, len(networkKey))
+	}
+	block, err := aes.NewCipher(networkKey)
+	if err != nil {
+		return S0Keys{}, fmt.Errorf("security: %w", err)
+	}
+	enc := make([]byte, BlockSize)
+	auth := make([]byte, BlockSize)
+	block.Encrypt(enc, s0EncPattern)
+	block.Encrypt(auth, s0AuthPattern)
+	return S0Keys{Enc: enc, Auth: auth}, nil
+}
+
+// NewS0Nonce draws one 8-byte nonce half.
+func NewS0Nonce(rng io.Reader) ([]byte, error) {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	n := make([]byte, S0NonceSize)
+	if _, err := io.ReadFull(rng, n); err != nil {
+		return nil, fmt.Errorf("security: drawing S0 nonce: %w", err)
+	}
+	return n, nil
+}
+
+// S0Encapsulate protects plaintext with the S0 scheme. senderNonce and
+// receiverNonce are the two 8-byte halves of the OFB IV (the receiver half
+// comes from a NONCE_REPORT exchange). header binds the MAC-layer context
+// (security byte, src, dst, length) into the MAC as the spec prescribes.
+// The returned payload is [0x98, 0x81, senderNonce, ciphertext,
+// receiverNonceID, mac].
+func S0Encapsulate(keys S0Keys, senderNonce, receiverNonce, header, plaintext []byte) ([]byte, error) {
+	if len(senderNonce) != S0NonceSize || len(receiverNonce) != S0NonceSize {
+		return nil, fmt.Errorf("security: S0 nonces must be %d bytes", S0NonceSize)
+	}
+	iv := append(append([]byte{}, senderNonce...), receiverNonce...)
+	ct := make([]byte, len(plaintext))
+	if err := ofbCrypt(keys.Enc, iv, ct, plaintext); err != nil {
+		return nil, err
+	}
+	mac, err := s0MAC(keys.Auth, iv, header, ct)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, 2+S0NonceSize+len(ct)+1+S0MACSize)
+	out = append(out, 0x98, 0x81)
+	out = append(out, senderNonce...)
+	out = append(out, ct...)
+	out = append(out, receiverNonce[0]) // nonce identifier
+	out = append(out, mac...)
+	return out, nil
+}
+
+// S0Decapsulate reverses S0Encapsulate. The caller supplies the receiver
+// nonce it handed out earlier (matched by the embedded nonce identifier).
+func S0Decapsulate(keys S0Keys, receiverNonce, header, payload []byte) ([]byte, error) {
+	minLen := 2 + S0NonceSize + 1 + S0MACSize
+	if len(payload) < minLen {
+		return nil, fmt.Errorf("%w: payload too short (%d bytes)", ErrS0Auth, len(payload))
+	}
+	if payload[0] != 0x98 || payload[1] != 0x81 {
+		return nil, fmt.Errorf("%w: not an S0 message encapsulation", ErrS0Auth)
+	}
+	senderNonce := payload[2 : 2+S0NonceSize]
+	ct := payload[2+S0NonceSize : len(payload)-1-S0MACSize]
+	nonceID := payload[len(payload)-1-S0MACSize]
+	gotMAC := payload[len(payload)-S0MACSize:]
+
+	if nonceID != receiverNonce[0] {
+		return nil, fmt.Errorf("%w: unknown receiver nonce id %#02x", ErrS0Auth, nonceID)
+	}
+	iv := append(append([]byte{}, senderNonce...), receiverNonce...)
+	wantMAC, err := s0MAC(keys.Auth, iv, header, ct)
+	if err != nil {
+		return nil, err
+	}
+	if subtle.ConstantTimeCompare(gotMAC, wantMAC) != 1 {
+		return nil, ErrS0Auth
+	}
+	pt := make([]byte, len(ct))
+	if err := ofbCrypt(keys.Enc, iv, pt, ct); err != nil {
+		return nil, err
+	}
+	return pt, nil
+}
+
+// s0MAC computes the truncated AES-CBC-MAC over IV-bound header and
+// ciphertext.
+func s0MAC(authKey, iv, header, ct []byte) ([]byte, error) {
+	block, err := aes.NewCipher(authKey)
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	msg := make([]byte, 0, len(header)+1+len(ct))
+	msg = append(msg, header...)
+	msg = append(msg, byte(len(ct)))
+	msg = append(msg, ct...)
+
+	// CBC-MAC with the IV encrypted as the first block (per S0).
+	var x [BlockSize]byte
+	block.Encrypt(x[:], iv[:BlockSize])
+	for i := 0; i < len(msg); i += BlockSize {
+		end := i + BlockSize
+		if end > len(msg) {
+			end = len(msg)
+		}
+		xorBytes(&x, msg[i:end])
+		block.Encrypt(x[:], x[:])
+	}
+	return append([]byte{}, x[:S0MACSize]...), nil
+}
+
+// ofbCrypt applies AES-OFB keystream (implemented locally; OFB is symmetric
+// so the same function encrypts and decrypts).
+func ofbCrypt(key, iv []byte, dst, src []byte) error {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return fmt.Errorf("security: %w", err)
+	}
+	if len(iv) != BlockSize {
+		return fmt.Errorf("security: OFB IV must be %d bytes, got %d", BlockSize, len(iv))
+	}
+	var ks [BlockSize]byte
+	copy(ks[:], iv)
+	for i := 0; i < len(src); i += BlockSize {
+		block.Encrypt(ks[:], ks[:])
+		end := i + BlockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		for j := i; j < end; j++ {
+			dst[j] = src[j] ^ ks[j-i]
+		}
+	}
+	return nil
+}
+
+// S0EncryptNetworkKeyTransfer models the inclusion-time NETWORK_KEY_SET:
+// the permanent network key encrypted under the *fixed all-zero temporary
+// key*. A sniffer that captures this exchange recovers the network key —
+// the S0 weakness the paper cites.
+func S0EncryptNetworkKeyTransfer(networkKey, senderNonce, receiverNonce []byte) ([]byte, error) {
+	tempKeys, err := DeriveS0Keys(S0TempKey())
+	if err != nil {
+		return nil, err
+	}
+	header := []byte{0x98, 0x06} // NETWORK_KEY_SET context
+	return S0Encapsulate(tempKeys, senderNonce, receiverNonce, header, networkKey)
+}
+
+// S0RecoverNetworkKeyFromCapture is the attacker's side of the S0
+// weakness: given a captured key-transfer encapsulation and the receiver
+// nonce (both visible on the air), recover the network key using the
+// known-fixed temporary key.
+func S0RecoverNetworkKeyFromCapture(capture, receiverNonce []byte) ([]byte, error) {
+	tempKeys, err := DeriveS0Keys(S0TempKey())
+	if err != nil {
+		return nil, err
+	}
+	header := []byte{0x98, 0x06}
+	return S0Decapsulate(tempKeys, receiverNonce, header, capture)
+}

@@ -1,0 +1,442 @@
+package security
+
+import (
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatalf("bad hex %q: %v", s, err)
+	}
+	return b
+}
+
+// RFC 4493 test vectors.
+func TestCMACRFC4493Vectors(t *testing.T) {
+	key := "2b7e151628aed2a6abf7158809cf4f3c"
+	msg := "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc1191a0a52eff69f2445df4f9b17ad2b417be66c3710"
+	cases := []struct {
+		name    string
+		msgLen  int
+		wantMAC string
+	}{
+		{"empty", 0, "bb1d6929e95937287fa37d129b756746"},
+		{"16 bytes", 16, "070a16b46b4d4144f79bdd9dd04a287c"},
+		{"40 bytes", 40, "dfa66747de9ae63030ca32611497c827"},
+		{"64 bytes", 64, "51f0bebf7e3b9d92fc49741779363cfe"},
+	}
+	k := mustHex(t, key)
+	m := mustHex(t, msg)
+	for _, tc := range cases {
+		got, err := CMAC(k, m[:tc.msgLen])
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if want := mustHex(t, tc.wantMAC); !bytes.Equal(got, want) {
+			t.Errorf("%s: CMAC = %x, want %x", tc.name, got, want)
+		}
+	}
+}
+
+func TestCMACRejectsBadKey(t *testing.T) {
+	if _, err := CMAC([]byte("short"), nil); err == nil {
+		t.Fatal("CMAC accepted a short key")
+	}
+}
+
+func TestCCMRoundTrip(t *testing.T) {
+	key := mustHex(t, "000102030405060708090a0b0c0d0e0f")
+	aead, err := NewCCM(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonce := make([]byte, CCMNonceSize)
+	copy(nonce, "zwave-nonce13")
+	pt := []byte{0x62, 0x01, 0xFF}
+	aad := []byte{0xCB, 0x95, 0xA3, 0x4A, 0x01, 0x02}
+	ct := aead.Seal(nil, nonce, pt, aad)
+	if len(ct) != len(pt)+CCMTagSize {
+		t.Fatalf("ciphertext length %d, want %d", len(ct), len(pt)+CCMTagSize)
+	}
+	got, err := aead.Open(nil, nonce, ct, aad)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip = %x, want %x", got, pt)
+	}
+}
+
+func TestCCMDetectsTampering(t *testing.T) {
+	key := make([]byte, KeySize)
+	aead, _ := NewCCM(key)
+	nonce := make([]byte, CCMNonceSize)
+	pt := []byte("door lock operation set secured")
+	aad := []byte("header")
+	ct := aead.Seal(nil, nonce, pt, aad)
+
+	for i := range ct {
+		ct[i] ^= 0x01
+		if _, err := aead.Open(nil, nonce, ct, aad); !errors.Is(err, ErrCCMAuth) {
+			t.Fatalf("tampered byte %d accepted (err=%v)", i, err)
+		}
+		ct[i] ^= 0x01
+	}
+	// Wrong AAD must fail too.
+	if _, err := aead.Open(nil, nonce, ct, []byte("other")); !errors.Is(err, ErrCCMAuth) {
+		t.Fatal("wrong AAD accepted")
+	}
+	// Truncated ciphertext.
+	if _, err := aead.Open(nil, nonce, ct[:CCMTagSize-1], aad); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestCCMEmptyPlaintext(t *testing.T) {
+	aead, _ := NewCCM(make([]byte, KeySize))
+	nonce := make([]byte, CCMNonceSize)
+	ct := aead.Seal(nil, nonce, nil, nil)
+	if len(ct) != CCMTagSize {
+		t.Fatalf("empty plaintext ciphertext = %d bytes, want %d", len(ct), CCMTagSize)
+	}
+	pt, err := aead.Open(nil, nonce, ct, nil)
+	if err != nil || len(pt) != 0 {
+		t.Fatalf("Open = %x, %v", pt, err)
+	}
+}
+
+// Property: CCM round-trips arbitrary payloads and AAD.
+func TestCCMRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		key := make([]byte, KeySize)
+		r.Read(key)
+		nonce := make([]byte, CCMNonceSize)
+		r.Read(nonce)
+		pt := make([]byte, r.Intn(60))
+		r.Read(pt)
+		aad := make([]byte, r.Intn(20))
+		r.Read(aad)
+		aead, err := NewCCM(key)
+		if err != nil {
+			return false
+		}
+		got, err := aead.Open(nil, nonce, aead.Seal(nil, nonce, pt, aad), aad)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDHSharedSecretAgreement(t *testing.T) {
+	rngA := rand.New(rand.NewSource(1))
+	rngB := rand.New(rand.NewSource(2))
+	a, err := GenerateKeypair(rngA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateKeypair(rngB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sab, err := a.SharedSecret(b.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sba, err := b.SharedSecret(a.Public())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sab, sba) {
+		t.Fatal("ECDH shared secrets disagree")
+	}
+	tk, err := DeriveTempKey(sab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tk) != KeySize {
+		t.Fatalf("temp key = %d bytes, want %d", len(tk), KeySize)
+	}
+}
+
+func TestDeriveTempKeyRejectsBadSecret(t *testing.T) {
+	if _, err := DeriveTempKey([]byte("short")); err == nil {
+		t.Fatal("accepted short shared secret")
+	}
+}
+
+func TestSharedSecretRejectsBadPublicKey(t *testing.T) {
+	a, _ := GenerateKeypair(rand.New(rand.NewSource(3)))
+	if _, err := a.SharedSecret([]byte{1, 2, 3}); err == nil {
+		t.Fatal("accepted malformed public key")
+	}
+}
+
+func newTestSessions(t *testing.T) (*Session, *Session) {
+	t.Helper()
+	r := rand.New(rand.NewSource(42))
+	key, err := NewNetworkKey(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eiA := make([]byte, EntropySize)
+	eiB := make([]byte, EntropySize)
+	r.Read(eiA)
+	r.Read(eiB)
+	sa, err := NewSession(key, eiA, eiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := NewSession(key, eiA, eiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sa, sb
+}
+
+func TestS2SessionRoundTrip(t *testing.T) {
+	controller, lock := newTestSessions(t)
+	aad := []byte{0xCB, 0x95, 0xA3, 0x4A, 0x01, 0x02}
+	msg := []byte{0x62, 0x01, 0xFF} // DOOR_LOCK_OPERATION_SET secured
+
+	for i := 0; i < 10; i++ {
+		encap, err := controller.Encapsulate(FlowAtoB, aad, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsEncapsulation(encap) {
+			t.Fatal("payload not recognised as S2 encapsulation")
+		}
+		got, err := lock.Decapsulate(FlowAtoB, aad, encap)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("message %d: %x, want %x", i, got, msg)
+		}
+	}
+}
+
+func TestS2BidirectionalFlowsIndependent(t *testing.T) {
+	a, b := newTestSessions(t)
+	aad := []byte("hdr")
+	e1, _ := a.Encapsulate(FlowAtoB, aad, []byte("ping"))
+	e2, _ := b.Encapsulate(FlowBtoA, aad, []byte("pong"))
+	if got, err := b.Decapsulate(FlowAtoB, aad, e1); err != nil || string(got) != "ping" {
+		t.Fatalf("AtoB: %q, %v", got, err)
+	}
+	if got, err := a.Decapsulate(FlowBtoA, aad, e2); err != nil || string(got) != "pong" {
+		t.Fatalf("BtoA: %q, %v", got, err)
+	}
+}
+
+func TestS2RejectsReplay(t *testing.T) {
+	a, b := newTestSessions(t)
+	aad := []byte("hdr")
+	encap, _ := a.Encapsulate(FlowAtoB, aad, []byte("unlock"))
+	if _, err := b.Decapsulate(FlowAtoB, aad, encap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Decapsulate(FlowAtoB, aad, encap); !errors.Is(err, ErrS2Desync) {
+		t.Fatalf("replay accepted (err=%v)", err)
+	}
+}
+
+func TestS2RejectsForgery(t *testing.T) {
+	a, b := newTestSessions(t)
+	aad := []byte("hdr")
+	encap, _ := a.Encapsulate(FlowAtoB, aad, []byte("unlock"))
+	encap[len(encap)-1] ^= 0xFF
+	if _, err := b.Decapsulate(FlowAtoB, aad, encap); !errors.Is(err, ErrS2Auth) {
+		t.Fatalf("forgery accepted (err=%v)", err)
+	}
+}
+
+func TestS2RejectsWrongHeaderAAD(t *testing.T) {
+	a, b := newTestSessions(t)
+	encap, _ := a.Encapsulate(FlowAtoB, []byte("realhdr"), []byte("unlock"))
+	if _, err := b.Decapsulate(FlowAtoB, []byte("fakehdr"), encap); !errors.Is(err, ErrS2Auth) {
+		t.Fatalf("spoofed MAC header accepted (err=%v)", err)
+	}
+}
+
+func TestS2RejectsGarbage(t *testing.T) {
+	_, b := newTestSessions(t)
+	if _, err := b.Decapsulate(FlowAtoB, nil, []byte{0x9F, 0x03}); err == nil {
+		t.Fatal("accepted truncated encapsulation")
+	}
+	if _, err := b.Decapsulate(FlowAtoB, nil, []byte{0x20, 0x01, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("accepted non-S2 payload")
+	}
+}
+
+func TestS2ResyncAfterLoss(t *testing.T) {
+	a, b := newTestSessions(t)
+	aad := []byte("hdr")
+	// First message lost on the air: sender advanced, receiver did not.
+	if _, err := a.Encapsulate(FlowAtoB, aad, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	encap, _ := a.Encapsulate(FlowAtoB, aad, []byte("second"))
+	if _, err := b.Decapsulate(FlowAtoB, aad, encap); err == nil {
+		t.Fatal("desynced message unexpectedly accepted")
+	}
+	// SOS: receiver resyncs to the sender's counter (one behind, since the
+	// failed attempt consumed nothing).
+	b.Resync(FlowAtoB, a.Counter(FlowAtoB)-1)
+	encap2, _ := a.Encapsulate(FlowAtoB, aad, []byte("third"))
+	b.Resync(FlowAtoB, a.Counter(FlowAtoB)-1)
+	got, err := b.Decapsulate(FlowAtoB, aad, encap2)
+	if err != nil || string(got) != "third" {
+		t.Fatalf("after resync: %q, %v", got, err)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	good := make([]byte, KeySize)
+	ei := make([]byte, EntropySize)
+	if _, err := NewSession(good[:8], ei, ei); err == nil {
+		t.Fatal("accepted short network key")
+	}
+	if _, err := NewSession(good, ei[:4], ei); err == nil {
+		t.Fatal("accepted short entropy")
+	}
+}
+
+func TestS0KeyDerivationDistinct(t *testing.T) {
+	key := bytes.Repeat([]byte{0x11}, KeySize)
+	keys, err := DeriveS0Keys(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(keys.Enc, keys.Auth) {
+		t.Fatal("S0 enc and auth keys identical")
+	}
+	if _, err := DeriveS0Keys(key[:4]); err == nil {
+		t.Fatal("accepted short S0 key")
+	}
+}
+
+func TestS0RoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	netKey, _ := NewNetworkKey(r)
+	keys, _ := DeriveS0Keys(netKey)
+	sn, _ := NewS0Nonce(r)
+	rn, _ := NewS0Nonce(r)
+	header := []byte{0x81, 0x02, 0x01, 0x0D}
+	pt := []byte{0x25, 0x01, 0xFF}
+
+	encap, err := S0Encapsulate(keys, sn, rn, header, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := S0Decapsulate(keys, rn, header, encap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, pt) {
+		t.Fatalf("round trip = %x, want %x", got, pt)
+	}
+}
+
+func TestS0DetectsTampering(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	netKey, _ := NewNetworkKey(r)
+	keys, _ := DeriveS0Keys(netKey)
+	sn, _ := NewS0Nonce(r)
+	rn, _ := NewS0Nonce(r)
+	header := []byte{0x81}
+	encap, _ := S0Encapsulate(keys, sn, rn, header, []byte("lock the door"))
+
+	tampered := append([]byte{}, encap...)
+	tampered[12] ^= 0x01 // flip a ciphertext bit
+	if _, err := S0Decapsulate(keys, rn, header, tampered); !errors.Is(err, ErrS0Auth) {
+		t.Fatalf("tampering accepted (err=%v)", err)
+	}
+	wrongNonce, _ := NewS0Nonce(r)
+	if _, err := S0Decapsulate(keys, wrongNonce, header, encap); !errors.Is(err, ErrS0Auth) {
+		t.Fatalf("wrong receiver nonce accepted (err=%v)", err)
+	}
+	if _, err := S0Decapsulate(keys, rn, header, encap[:10]); !errors.Is(err, ErrS0Auth) {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+// The S0 weakness the paper cites: a sniffer recovers the network key from
+// the inclusion exchange because the temporary key is fixed to zeros.
+func TestS0FixedTempKeyWeakness(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	netKey, _ := NewNetworkKey(r)
+	sn, _ := NewS0Nonce(r)
+	rn, _ := NewS0Nonce(r)
+
+	capture, err := S0EncryptNetworkKeyTransfer(netKey, sn, rn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := S0RecoverNetworkKeyFromCapture(capture, rn)
+	if err != nil {
+		t.Fatalf("attacker could not decrypt key transfer: %v", err)
+	}
+	if !bytes.Equal(recovered, netKey) {
+		t.Fatal("recovered key differs from network key — S0 weakness model broken")
+	}
+}
+
+// Property: S0 round-trips arbitrary payloads.
+func TestS0RoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		netKey, _ := NewNetworkKey(r)
+		keys, _ := DeriveS0Keys(netKey)
+		sn, _ := NewS0Nonce(r)
+		rn, _ := NewS0Nonce(r)
+		header := make([]byte, r.Intn(8))
+		r.Read(header)
+		pt := make([]byte, r.Intn(40))
+		r.Read(pt)
+		encap, err := S0Encapsulate(keys, sn, rn, header, pt)
+		if err != nil {
+			return false
+		}
+		got, err := S0Decapsulate(keys, rn, header, encap)
+		return err == nil && bytes.Equal(got, pt)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkS2Encapsulate(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	key, _ := NewNetworkKey(r)
+	ei := make([]byte, EntropySize)
+	s, _ := NewSession(key, ei, ei)
+	aad := []byte{0xCB, 0x95, 0xA3, 0x4A, 0x01, 0x02}
+	msg := []byte{0x62, 0x01, 0xFF}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Encapsulate(FlowAtoB, aad, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCMAC(b *testing.B) {
+	key := make([]byte, KeySize)
+	msg := make([]byte, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CMAC(key, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

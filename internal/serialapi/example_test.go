@@ -1,0 +1,39 @@
+package serialapi_test
+
+import (
+	"fmt"
+
+	"zcover/internal/controller"
+	"zcover/internal/oracle"
+	"zcover/internal/radio"
+	"zcover/internal/serialapi"
+	"zcover/internal/vtime"
+)
+
+// ExamplePCController reads a controller's identity and node table the way
+// the Z-Wave PC Controller program does.
+func ExamplePCController() {
+	m := radio.NewMedium(vtime.NewSimClock())
+	profile, _ := controller.ProfileByIndex("D1")
+	chip := controller.New(m, radio.RegionUS, profile, &oracle.Bus{})
+
+	pc := serialapi.NewPCController(chip)
+	id, _ := pc.NetworkID()
+	version, _ := pc.Version()
+	nodes, _ := pc.NodeIDs()
+	fmt.Printf("home %08X, node %d, %s, %d node(s) in memory\n",
+		id.Home, id.NodeID, version, len(nodes))
+	// Output:
+	// home E7DE3F3D, node 1, Z-Wave 7.18, 1 node(s) in memory
+}
+
+// ExampleEncode shows the Serial API data-frame wire format.
+func ExampleEncode() {
+	raw := serialapi.Encode(serialapi.Frame{
+		Type: serialapi.TypeRequest,
+		Func: serialapi.FuncMemoryGetID,
+	})
+	fmt.Printf("% X\n", raw)
+	// Output:
+	// 01 03 00 20 DC
+}

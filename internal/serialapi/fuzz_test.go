@@ -1,0 +1,20 @@
+package serialapi
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzDecodeSerial(f *testing.F) {
+	f.Add(Encode(Frame{Type: TypeRequest, Func: FuncMemoryGetID}))
+	f.Add([]byte{SOF, 0x03, 0x00, 0x20, 0xFF})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		frame, err := Decode(raw)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(Encode(frame), raw) {
+			t.Fatal("serial frame round trip mismatch")
+		}
+	})
+}

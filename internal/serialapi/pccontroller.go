@@ -1,0 +1,170 @@
+package serialapi
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PCController models the Z-Wave PC Controller desktop program: the host
+// software the paper runs on a Windows laptop to drive the USB-stick
+// controllers D1–D5 (§IV "Experiment environment"). It reads the chip's
+// memory through the Serial API and renders the device table — the view
+// shown in the paper's Figs 8–11, where the memory-tampering attacks
+// become visible to the operator.
+type PCController struct {
+	client *Client
+}
+
+// NewPCController connects the program to a controller chip.
+func NewPCController(chip Chip) *PCController {
+	return &PCController{client: NewClient(chip)}
+}
+
+// NetworkID is the chip's identity as MemoryGetID reports it.
+type NetworkID struct {
+	// Home is the 4-byte home ID.
+	Home uint32
+	// NodeID is the chip's own node ID.
+	NodeID byte
+}
+
+// NetworkID reads the home ID and node ID from chip memory.
+func (p *PCController) NetworkID() (NetworkID, error) {
+	data, err := p.client.Call(FuncMemoryGetID, nil)
+	if err != nil {
+		return NetworkID{}, err
+	}
+	if len(data) < 5 {
+		return NetworkID{}, fmt.Errorf("serialapi: short MemoryGetID response (%d bytes)", len(data))
+	}
+	return NetworkID{
+		Home:   uint32(data[0])<<24 | uint32(data[1])<<16 | uint32(data[2])<<8 | uint32(data[3]),
+		NodeID: data[4],
+	}, nil
+}
+
+// Version reads the firmware version string.
+func (p *PCController) Version() (string, error) {
+	data, err := p.client.Call(FuncGetVersion, nil)
+	if err != nil {
+		return "", err
+	}
+	// The version string is NUL-terminated; a library-type byte follows.
+	version, _, _ := strings.Cut(string(data), "\x00")
+	return version, nil
+}
+
+// NodeIDs reads the node bitmask from GetInitData: every node ID the
+// controller has in its device table.
+func (p *PCController) NodeIDs() ([]byte, error) {
+	data, err := p.client.Call(FuncGetInitData, nil)
+	if err != nil {
+		return nil, err
+	}
+	// [apiVersion, capabilities, maskLen, mask..., chipType, chipVersion]
+	if len(data) < 3 {
+		return nil, fmt.Errorf("serialapi: short GetInitData response")
+	}
+	maskLen := int(data[2])
+	if len(data) < 3+maskLen {
+		return nil, fmt.Errorf("serialapi: truncated node mask")
+	}
+	var ids []byte
+	for i, b := range data[3 : 3+maskLen] {
+		for bit := 0; bit < 8; bit++ {
+			if b&(1<<bit) != 0 {
+				ids = append(ids, byte(i*8+bit+1))
+			}
+		}
+	}
+	return ids, nil
+}
+
+// NodeInfo is one rendered node-table entry.
+type NodeInfo struct {
+	ID                       byte
+	Capability, Security     byte
+	Basic, Generic, Specific byte
+}
+
+// Listening reports the capability listening flag.
+func (n NodeInfo) Listening() bool { return n.Capability&0x80 != 0 }
+
+// TypeName renders the device type the way the PC Controller program's
+// node list does.
+func (n NodeInfo) TypeName() string {
+	switch {
+	case n.Basic == 0x01 || n.Basic == 0x02 || n.Generic == 0x02:
+		return "Static Controller"
+	case n.Generic == 0x40:
+		return "Entry Control (Door Lock)"
+	case n.Generic == 0x10:
+		return "Binary Switch"
+	case n.Basic == 0x04:
+		return "Routing Slave"
+	default:
+		return fmt.Sprintf("Unknown (basic=0x%02X generic=0x%02X)", n.Basic, n.Generic)
+	}
+}
+
+// NodeInfo reads one node's protocol info from the chip.
+func (p *PCController) NodeInfo(id byte) (NodeInfo, error) {
+	data, err := p.client.Call(FuncGetNodeProtocolInfo, []byte{id})
+	if err != nil {
+		return NodeInfo{}, err
+	}
+	if len(data) < 6 {
+		return NodeInfo{}, fmt.Errorf("serialapi: short protocol info for node %d", id)
+	}
+	return NodeInfo{
+		ID: id, Capability: data[0], Security: data[1],
+		Basic: data[3], Generic: data[4], Specific: data[5],
+	}, nil
+}
+
+// NodeTable reads the complete device table.
+func (p *PCController) NodeTable() ([]NodeInfo, error) {
+	ids, err := p.NodeIDs()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]NodeInfo, 0, len(ids))
+	for _, id := range ids {
+		info, err := p.NodeInfo(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// SendData asks the chip to transmit an application payload to a node.
+func (p *PCController) SendData(dst byte, payload []byte) error {
+	req := append([]byte{dst, byte(len(payload))}, payload...)
+	req = append(req, 0x25) // TX options: ACK | AUTO_ROUTE
+	resp, err := p.client.Call(FuncSendData, req)
+	if err != nil {
+		return err
+	}
+	if len(resp) < 1 || resp[0] != 0x01 {
+		return fmt.Errorf("serialapi: SendData rejected")
+	}
+	return nil
+}
+
+// RenderTable draws the node list the way the program's UI shows it —
+// the view of Figs 8–11.
+func (p *PCController) RenderTable() (string, error) {
+	table, err := p.NodeTable()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("ID   Listening  Device type\n")
+	b.WriteString("---  ---------  -----------------------------\n")
+	for _, n := range table {
+		fmt.Fprintf(&b, "%-3d  %-9v  %s\n", n.ID, n.Listening(), n.TypeName())
+	}
+	return b.String(), nil
+}

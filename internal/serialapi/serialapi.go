@@ -1,0 +1,177 @@
+// Package serialapi implements the Z-Wave Serial API: the host-interface
+// protocol spoken between controller chips and host software over
+// USB/UART. In the paper's testbed, the Z-Wave PC Controller program
+// drives the USB-stick controllers D1–D5 through this interface — it is
+// how the researchers watched the node table while the memory-tampering
+// attacks of Figs 8–11 unfolded, and it is the surface bugs 06 and 13
+// take down.
+//
+// The wire format follows the published Serial API framing:
+//
+//	data frame:  SOF LEN TYPE FUNC data... CHK
+//
+// where LEN covers TYPE through CHK, TYPE is request (0x00) or response
+// (0x01), and CHK is an XOR checksum over LEN..data seeded with 0xFF.
+// Single-byte ACK/NAK/CAN frames acknowledge data frames.
+package serialapi
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Frame delimiters and control bytes.
+const (
+	// SOF starts a data frame.
+	SOF byte = 0x01
+	// ACK acknowledges a correctly received data frame.
+	ACK byte = 0x06
+	// NAK rejects a corrupted data frame.
+	NAK byte = 0x15
+	// CAN cancels a collided transmission.
+	CAN byte = 0x18
+)
+
+// Frame types.
+const (
+	// TypeRequest marks host→chip requests and chip→host callbacks.
+	TypeRequest byte = 0x00
+	// TypeResponse marks synchronous responses.
+	TypeResponse byte = 0x01
+)
+
+// Serial API function IDs (the subset the emulated chips implement).
+const (
+	// FuncGetInitData returns the serial-API capabilities and the node
+	// bitmask — the PC Controller program's view of the device table.
+	FuncGetInitData byte = 0x02
+	// FuncApplicationCommandHandler delivers received application frames
+	// to the host (chip→host callback).
+	FuncApplicationCommandHandler byte = 0x04
+	// FuncGetControllerCapabilities reports the controller role flags.
+	FuncGetControllerCapabilities byte = 0x05
+	// FuncSendData transmits an application payload to a node.
+	FuncSendData byte = 0x13
+	// FuncGetVersion returns the firmware version string.
+	FuncGetVersion byte = 0x15
+	// FuncMemoryGetID returns the home ID and the chip's node ID.
+	FuncMemoryGetID byte = 0x20
+	// FuncGetNodeProtocolInfo returns a node-table record.
+	FuncGetNodeProtocolInfo byte = 0x41
+	// FuncAddNodeToNetwork arms or stops add-node (inclusion) mode.
+	FuncAddNodeToNetwork byte = 0x4A
+	// FuncRemoveFailedNode removes a non-responding node from the table
+	// (the legitimate counterpart of what bug 03 lets attackers do).
+	FuncRemoveFailedNode byte = 0x61
+)
+
+// Codec errors.
+var (
+	// ErrFrameTooShort indicates fewer bytes than a minimal data frame.
+	ErrFrameTooShort = errors.New("serialapi: frame too short")
+	// ErrNotDataFrame indicates a missing SOF.
+	ErrNotDataFrame = errors.New("serialapi: not a data frame")
+	// ErrLengthMismatch indicates a LEN field inconsistent with the data.
+	ErrLengthMismatch = errors.New("serialapi: length mismatch")
+	// ErrBadChecksum indicates checksum verification failed.
+	ErrBadChecksum = errors.New("serialapi: checksum mismatch")
+	// ErrChipNAK indicates the chip rejected the request frame.
+	ErrChipNAK = errors.New("serialapi: chip NAKed the request")
+)
+
+// Frame is a parsed Serial API data frame.
+type Frame struct {
+	// Type is TypeRequest or TypeResponse.
+	Type byte
+	// Func is the Serial API function ID.
+	Func byte
+	// Data is the function payload.
+	Data []byte
+}
+
+// Checksum computes the Serial API XOR checksum over LEN..data.
+func Checksum(body []byte) byte {
+	chk := byte(0xFF)
+	for _, b := range body {
+		chk ^= b
+	}
+	return chk
+}
+
+// Encode serialises a data frame.
+func Encode(f Frame) []byte {
+	// LEN counts TYPE, FUNC, data, and CHK.
+	length := byte(3 + len(f.Data))
+	out := make([]byte, 0, 2+int(length))
+	out = append(out, SOF, length, f.Type, f.Func)
+	out = append(out, f.Data...)
+	return append(out, Checksum(out[1:]))
+}
+
+// Decode parses a data frame, validating framing and checksum. The
+// returned frame's Data aliases raw.
+func Decode(raw []byte) (Frame, error) {
+	if len(raw) < 5 {
+		return Frame{}, fmt.Errorf("%w: %d bytes", ErrFrameTooShort, len(raw))
+	}
+	if raw[0] != SOF {
+		return Frame{}, fmt.Errorf("%w: leading byte %#02x", ErrNotDataFrame, raw[0])
+	}
+	if int(raw[1]) != len(raw)-2 {
+		return Frame{}, fmt.Errorf("%w: LEN=%d, frame=%d bytes", ErrLengthMismatch, raw[1], len(raw))
+	}
+	if Checksum(raw[1:len(raw)-1]) != raw[len(raw)-1] {
+		return Frame{}, ErrBadChecksum
+	}
+	return Frame{Type: raw[2], Func: raw[3], Data: raw[4 : len(raw)-1]}, nil
+}
+
+// Chip is the device side of the serial link: it answers host requests
+// and may emit unsolicited callbacks.
+type Chip interface {
+	// SerialCall handles one request and returns the response data.
+	// ok=false means the function is unsupported (the chip stays silent,
+	// as real modules do for unknown function IDs).
+	SerialCall(funcID byte, data []byte) (resp []byte, ok bool)
+}
+
+// Client is the host side of the serial link: it frames requests, walks
+// the ACK handshake, and parses responses. This is the transport the PC
+// Controller program model is built on.
+type Client struct {
+	chip Chip
+}
+
+// NewClient connects a host client to a chip.
+func NewClient(chip Chip) *Client {
+	if chip == nil {
+		panic("serialapi: NewClient requires a chip")
+	}
+	return &Client{chip: chip}
+}
+
+// Call performs one request/response exchange over the wire encoding:
+// the request is encoded, "transmitted", decoded on the chip side,
+// dispatched, and the response travels back the same way. Both directions
+// exercise the real framing and checksums.
+func (c *Client) Call(funcID byte, data []byte) ([]byte, error) {
+	raw := Encode(Frame{Type: TypeRequest, Func: funcID, Data: data})
+
+	// Chip side: validate framing, ACK, dispatch.
+	req, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%v)", ErrChipNAK, err)
+	}
+	respData, ok := c.chip.SerialCall(req.Func, req.Data)
+	if !ok {
+		return nil, fmt.Errorf("serialapi: function 0x%02X unsupported", funcID)
+	}
+
+	// Response travels back through the codec as well.
+	respRaw := Encode(Frame{Type: TypeResponse, Func: funcID, Data: respData})
+	resp, err := Decode(respRaw)
+	if err != nil {
+		return nil, fmt.Errorf("serialapi: corrupted response: %w", err)
+	}
+	return resp.Data, nil
+}

@@ -1,0 +1,150 @@
+package serialapi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeLayout(t *testing.T) {
+	raw := Encode(Frame{Type: TypeRequest, Func: FuncMemoryGetID})
+	// SOF, LEN=3, TYPE, FUNC, CHK.
+	want := []byte{SOF, 0x03, 0x00, 0x20}
+	if !bytes.Equal(raw[:4], want) {
+		t.Fatalf("frame = % X, want % X + CHK", raw, want)
+	}
+	if raw[4] != Checksum(raw[1:4]) {
+		t.Fatal("checksum wrong")
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	good := Encode(Frame{Type: TypeResponse, Func: FuncGetVersion, Data: []byte("v7")})
+	cases := []struct {
+		name string
+		raw  []byte
+		want error
+	}{
+		{"short", []byte{SOF, 1, 2}, ErrFrameTooShort},
+		{"no sof", append([]byte{ACK}, good[1:]...), ErrNotDataFrame},
+		{"bad len", func() []byte { r := append([]byte{}, good...); r[1]++; return r }(), ErrLengthMismatch},
+		{"bad chk", func() []byte { r := append([]byte{}, good...); r[len(r)-1] ^= 0x55; return r }(), ErrBadChecksum},
+	}
+	for _, tc := range cases {
+		if _, err := Decode(tc.raw); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// Property: encode/decode round-trips arbitrary frames.
+func TestFrameRoundTripProperty(t *testing.T) {
+	prop := func(ftype bool, funcID byte, data []byte) bool {
+		if len(data) > 250 {
+			data = data[:250]
+		}
+		f := Frame{Type: TypeRequest, Func: funcID, Data: data}
+		if ftype {
+			f.Type = TypeResponse
+		}
+		got, err := Decode(Encode(f))
+		return err == nil && got.Type == f.Type && got.Func == f.Func && bytes.Equal(got.Data, f.Data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeChip answers a fixed function set.
+type fakeChip struct{ calls int }
+
+func (f *fakeChip) SerialCall(funcID byte, data []byte) ([]byte, bool) {
+	f.calls++
+	switch funcID {
+	case FuncGetVersion:
+		return []byte("Z-Wave 7.18\x00\x01"), true
+	case FuncMemoryGetID:
+		return []byte{0xE7, 0xDE, 0x3F, 0x3D, 0x01}, true
+	case FuncGetInitData:
+		return []byte{0x08, 0x00, 0x02, 0b00000111, 0x00, 0x07, 0x00}, true
+	case FuncGetNodeProtocolInfo:
+		return []byte{0x80, 0x00, 0x00, 0x03, 0x40, 0x03}, true
+	case FuncSendData:
+		return []byte{0x01}, true
+	}
+	return nil, false
+}
+
+func TestClientCall(t *testing.T) {
+	chip := &fakeChip{}
+	c := NewClient(chip)
+	data, err := c.Call(FuncMemoryGetID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 5 || data[4] != 0x01 {
+		t.Fatalf("data = % X", data)
+	}
+	if _, err := c.Call(0x99, nil); err == nil {
+		t.Fatal("unsupported function accepted")
+	}
+}
+
+func TestPCControllerReadsChip(t *testing.T) {
+	p := NewPCController(&fakeChip{})
+	id, err := p.NetworkID()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Home != 0xE7DE3F3D || id.NodeID != 0x01 {
+		t.Fatalf("network id = %+v", id)
+	}
+	v, err := p.Version()
+	if err != nil || v[:6] != "Z-Wave" {
+		t.Fatalf("version = %q, %v", v, err)
+	}
+	ids, err := p.NodeIDs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 3 {
+		t.Fatalf("node ids = %v", ids)
+	}
+	table, err := p.NodeTable()
+	if err != nil || len(table) != 3 {
+		t.Fatalf("table = %v, %v", table, err)
+	}
+	if table[0].TypeName() != "Entry Control (Door Lock)" {
+		t.Fatalf("type = %q", table[0].TypeName())
+	}
+	if err := p.SendData(2, []byte{0x20, 0x01, 0xFF}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeInfoTypeNames(t *testing.T) {
+	cases := map[string]NodeInfo{
+		"Static Controller":         {Basic: 0x02, Generic: 0x02},
+		"Entry Control (Door Lock)": {Basic: 0x03, Generic: 0x40},
+		"Binary Switch":             {Basic: 0x04, Generic: 0x10},
+		"Routing Slave":             {Basic: 0x04, Generic: 0x77},
+	}
+	for want, n := range cases {
+		if got := n.TypeName(); got != want {
+			t.Errorf("TypeName(%+v) = %q, want %q", n, got, want)
+		}
+	}
+	if !(NodeInfo{Capability: 0x80}).Listening() || (NodeInfo{Capability: 0x40}).Listening() {
+		t.Error("Listening flag wrong")
+	}
+}
+
+func TestNewClientNilChipPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClient(nil) did not panic")
+		}
+	}()
+	NewClient(nil)
+}

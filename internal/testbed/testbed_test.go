@@ -1,0 +1,168 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+	"zcover/internal/security"
+)
+
+func TestNewBuildsAllSevenTestbeds(t *testing.T) {
+	for _, idx := range []string{"D1", "D2", "D3", "D4", "D5", "D6", "D7"} {
+		tb, err := New(idx, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", idx, err)
+		}
+		if tb.Controller.Profile().Index != idx {
+			t.Errorf("%s: wrong profile", idx)
+		}
+		if tb.Controller.Table().Len() != 3 {
+			t.Errorf("%s: node table = %v", idx, tb.Controller.Table().IDs())
+		}
+	}
+}
+
+func TestNewRejectsUnknownProfile(t *testing.T) {
+	if _, err := New("D9", 1); err == nil {
+		t.Fatal("accepted a slave index as a controller profile")
+	}
+}
+
+func TestLockIsPairedWithController(t *testing.T) {
+	tb, err := New("D6", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, ok := tb.Controller.Session(LockID)
+	if !ok {
+		t.Fatal("controller has no S2 session for the lock")
+	}
+	// Controller -> lock secured unlock round-trips through the real air.
+	h := tb.Home()
+	aad := []byte{byte(h >> 24), byte(h >> 16), byte(h >> 8), byte(h), ControllerID, LockID}
+	encap, err := sess.Encapsulate(security.FlowAtoB, aad,
+		[]byte{0x62, 0x01, 0x00}) // DOOR_LOCK_OPERATION_SET unsecured
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Controller.Node().Send(LockID, encap); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Lock.Mode() != 0x00 {
+		t.Fatal("secured unlock did not reach the lock")
+	}
+}
+
+func TestLockWakeupIntervalRegistered(t *testing.T) {
+	tb, err := New("D1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Controller.WakeupInterval(LockID); got != time.Hour {
+		t.Fatalf("lock wakeup interval = %s, want 1h", got)
+	}
+	rec, ok := tb.Controller.Table().Get(LockID)
+	if !ok || rec.WakeupInterval != time.Hour {
+		t.Fatalf("lock record = %+v", rec)
+	}
+}
+
+func TestGenerateTrafficVisibleToSniffer(t *testing.T) {
+	tb, err := New("D4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniffer := radio.NewSniffer(tb.Medium, tb.Region, 0)
+	if err := tb.GenerateTraffic(3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	nets := sniffer.Networks()
+	nodes := nets[tb.Home()]
+	if len(nodes) != 3 {
+		t.Fatalf("sniffer saw nodes %v, want controller+lock+switch", nodes)
+	}
+}
+
+func TestScheduleTrafficFiresOnClockAdvance(t *testing.T) {
+	tb, err := New("D2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sniffer := radio.NewSniffer(tb.Medium, tb.Region, 0)
+	tb.ScheduleTraffic(4, 5*time.Second)
+	if got := len(sniffer.Captures()); got != 0 {
+		t.Fatalf("traffic fired before the clock advanced: %d captures", got)
+	}
+	tb.Clock.Advance(30 * time.Second)
+	if got := len(sniffer.Captures()); got < 8 {
+		t.Fatalf("captured %d frames after advancing, want >= 8", got)
+	}
+}
+
+func TestResetRestoresControllerAndOracle(t *testing.T) {
+	tb, err := New("D5", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker := tb.Medium.Attach("attacker", tb.Region)
+	raw := protocol.NewDataFrame(tb.Home(), 0x0F, ControllerID, []byte{0x01, 0x0D, 0xFF}).MustEncode()
+	if err := attacker.Transmit(raw); err != nil {
+		t.Fatal(err)
+	}
+	if _, lockStillThere := tb.Controller.Table().Get(LockID); lockStillThere || len(tb.Bus.Events()) == 0 {
+		t.Fatal("attack did not land")
+	}
+	tb.Reset()
+	if _, ok := tb.Controller.Table().Get(LockID); !ok || tb.Controller.Table().Len() != 3 {
+		t.Fatal("reset did not restore the table")
+	}
+	if len(tb.Bus.Events()) != 0 {
+		t.Fatal("reset did not clear the oracle")
+	}
+}
+
+func TestHiddenClassDefinitions(t *testing.T) {
+	defs := HiddenClassDefinitions()
+	if len(defs) != 2 {
+		t.Fatalf("hidden definitions = %d, want 2", len(defs))
+	}
+}
+
+func TestDistinctTestbedsAreIsolated(t *testing.T) {
+	a, err := New("D1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("D2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.GenerateTraffic(1, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if b.Medium.TransmitCount() != 0 {
+		t.Fatal("traffic leaked between testbeds")
+	}
+}
+
+func TestAddSensorJoinsTheHome(t *testing.T) {
+	tb, err := New("D6", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensor := tb.AddSensor(0x04, 30*time.Minute)
+	if tb.Controller.Table().Len() != 4 {
+		t.Fatalf("table = %v", tb.Controller.Table().IDs())
+	}
+	if got := tb.Controller.WakeupInterval(0x04); got != 30*time.Minute {
+		t.Fatalf("wakeup interval = %s", got)
+	}
+	if err := sensor.WakeCycle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Controller.Stats().AppFrames; got < 3 {
+		t.Fatalf("controller saw %d frames from the wake cycle", got)
+	}
+}

@@ -1,0 +1,208 @@
+// Package vfuzz reimplements the VFuzz baseline (Nkuba et al., "Riding the
+// IoT Wave With VFuzz", IEEE Access 2022) as the paper's comparison target
+// (§IV-C, Table V). VFuzz is a MAC-frame fuzzer built for slave devices:
+// it mutates fields across the whole Z-Wave frame — home ID, frame
+// control, length, addresses — and sweeps the full 256-value CMDCL space
+// with random payload bytes, with no knowledge of the controller's
+// implemented command classes and no position-aware payload mutation.
+//
+// Those two differences are exactly why the paper finds the tools'
+// results disjoint: VFuzz's broken MAC fields reach the chipset's frame
+// parser (where the legacy one-day bugs live) but its payloads almost
+// never form the structured application commands ZCover's bugs need.
+package vfuzz
+
+import (
+	"math/rand"
+	"time"
+
+	"zcover/internal/oracle"
+	"zcover/internal/protocol"
+	"zcover/internal/vtime"
+	"zcover/internal/zcover/dongle"
+	"zcover/internal/zcover/fuzz"
+	"zcover/internal/zcover/scan"
+)
+
+// StrategyVFuzz labels VFuzz results in shared reporting.
+const StrategyVFuzz fuzz.Strategy = "vfuzz"
+
+// Config tunes a VFuzz campaign.
+type Config struct {
+	// Duration is the fuzzing budget.
+	Duration time.Duration
+	// Seed drives the mutation stream.
+	Seed int64
+	// ResponseWindow, InterTestGap, PingRetry mirror the ZCover engine's
+	// pacing so Table V compares equal wall-clock budgets.
+	ResponseWindow time.Duration
+	InterTestGap   time.Duration
+	PingRetry      time.Duration
+	// SamplePeriod spaces timeline samples.
+	SamplePeriod time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Duration <= 0 {
+		c.Duration = 24 * time.Hour
+	}
+	if c.ResponseWindow <= 0 {
+		c.ResponseWindow = dongle.DefaultResponseWindow
+	}
+	if c.InterTestGap <= 0 {
+		c.InterTestGap = 100 * time.Millisecond
+	}
+	if c.PingRetry <= 0 {
+		c.PingRetry = 5 * time.Second
+	}
+	if c.SamplePeriod <= 0 {
+		c.SamplePeriod = 20 * time.Second
+	}
+	return c
+}
+
+// Engine drives one VFuzz campaign.
+type Engine struct {
+	dongle *dongle.Dongle
+	clock  *vtime.SimClock
+	home   protocol.HomeID
+	target protocol.NodeID
+	cfg    Config
+	rng    *rand.Rand
+
+	pending []oracle.Event
+	seen    map[string]bool
+}
+
+// New builds a VFuzz engine against the target controller. Like ZCover,
+// VFuzz learns the home ID and node ID by scanning first; the caller
+// passes them in.
+func New(d *dongle.Dongle, home protocol.HomeID, target protocol.NodeID, cfg Config) *Engine {
+	return &Engine{
+		dongle: d,
+		clock:  d.Clock(),
+		home:   home,
+		target: target,
+		cfg:    cfg.withDefaults(),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		seen:   make(map[string]bool),
+	}
+}
+
+// Observe receives oracle events; subscribe it to the testbed bus before
+// Run (bus.Subscribe(engine.Observe)).
+func (e *Engine) Observe(ev oracle.Event) { e.pending = append(e.pending, ev) }
+
+// Run executes the campaign.
+func (e *Engine) Run() *fuzz.Result {
+	res := &fuzz.Result{
+		Strategy:        StrategyVFuzz,
+		ClassesCovered:  256,
+		CommandsCovered: 256,
+	}
+	start := e.clock.Now()
+	elapsed := func() time.Duration { return e.clock.Now().Sub(start) }
+	nextSample := e.cfg.SamplePeriod
+
+	for elapsed() < e.cfg.Duration {
+		raw := e.nextFrame()
+		_ = e.dongle.SendRaw(raw)
+		res.PacketsSent++
+		e.clock.Advance(e.cfg.ResponseWindow)
+		// VFuzz's device-behaviour fingerprinting sends a state probe
+		// after every test case, making its cycle slower than ZCover's.
+		e.clock.Advance(e.cfg.ResponseWindow)
+
+		for _, ev := range e.pending {
+			sig := ev.Signature()
+			if e.seen[sig] {
+				res.Duplicates++
+				continue
+			}
+			e.seen[sig] = true
+			res.Findings = append(res.Findings, fuzz.Finding{
+				Signature:      sig,
+				Event:          ev,
+				TriggerPayload: append([]byte{}, raw...),
+				Packets:        res.PacketsSent,
+				Elapsed:        elapsed(),
+			})
+			res.Timeline = append(res.Timeline, fuzz.Sample{
+				Elapsed: elapsed(), Packets: res.PacketsSent, Unique: len(res.Findings),
+			})
+		}
+		e.pending = e.pending[:0]
+
+		if !e.dongle.Ping(e.home, scan.AttackerNodeID, e.target) {
+			e.awaitRecovery(start)
+		}
+		e.clock.Advance(e.cfg.InterTestGap)
+
+		for elapsed() >= nextSample {
+			res.Timeline = append(res.Timeline, fuzz.Sample{
+				Elapsed: nextSample, Packets: res.PacketsSent, Unique: len(res.Findings),
+			})
+			nextSample += e.cfg.SamplePeriod
+		}
+	}
+	res.Elapsed = elapsed()
+	return res
+}
+
+// awaitRecovery pings until the target answers or the budget runs out.
+func (e *Engine) awaitRecovery(start time.Time) {
+	for e.clock.Now().Sub(start) < e.cfg.Duration {
+		e.clock.Advance(e.cfg.PingRetry)
+		if e.dongle.Ping(e.home, scan.AttackerNodeID, e.target) {
+			return
+		}
+	}
+}
+
+// nextFrame builds one VFuzz test frame: a valid base frame with a random
+// application payload (uniform CMDCL/CMD/PARAM bytes), then one to three
+// MAC-field mutations, checksum recomputed unless the checksum itself was
+// the mutation target.
+func (e *Engine) nextFrame() []byte {
+	payload := make([]byte, 2+e.rng.Intn(8))
+	for i := range payload {
+		payload[i] = byte(e.rng.Intn(256))
+	}
+	f := protocol.NewDataFrame(e.home, scan.AttackerNodeID, e.target, payload)
+	raw, err := f.Encode()
+	if err != nil {
+		raw = []byte{0, 0, 0, 0, 0, 0, 0, 10, 0, 0}
+	}
+
+	fixChecksum := true
+	for n := 4 + e.rng.Intn(4); n > 0; n-- {
+		switch e.rng.Intn(8) {
+		case 0: // home ID byte
+			raw[e.rng.Intn(4)] ^= byte(1 + e.rng.Intn(255))
+		case 1: // source
+			raw[4] = byte(e.rng.Intn(256))
+		case 2: // frame control P1
+			raw[5] = byte(e.rng.Intn(256))
+		case 3: // frame control P2
+			raw[6] = byte(e.rng.Intn(256))
+		case 4: // LEN
+			raw[7] = byte(e.rng.Intn(256))
+		case 5: // destination
+			raw[8] = byte(e.rng.Intn(256))
+		case 6: // truncate the frame
+			if len(raw) > protocol.HeaderSize {
+				raw = raw[:protocol.HeaderSize+e.rng.Intn(len(raw)-protocol.HeaderSize)]
+			}
+		default: // checksum itself
+			raw[len(raw)-1] = byte(e.rng.Intn(256))
+			fixChecksum = false
+		}
+	}
+	if fixChecksum && len(raw) > 1 {
+		raw[len(raw)-1] = protocol.CS8(raw[:len(raw)-1])
+	}
+	if len(raw) > protocol.MaxFrameSize {
+		raw = raw[:protocol.MaxFrameSize]
+	}
+	return raw
+}

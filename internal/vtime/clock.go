@@ -1,0 +1,36 @@
+// Package vtime provides the simulated-time substrate used throughout the
+// ZCover reproduction.
+//
+// The paper's evaluation runs wall-clock campaigns (five 24-hour fuzzing
+// trials per controller). Reproducing those campaigns against an emulated
+// testbed would be pointlessly slow and non-deterministic on real time, so
+// every component in this repository — the radio medium, the device models,
+// the fuzzing engine, the liveness monitor — takes time from a Clock
+// interface instead of the time package. Production-style code paths use
+// SystemClock; simulations and tests use SimClock, which only advances when
+// told to (directly or through its event queue).
+package vtime
+
+import "time"
+
+// Clock abstracts the passage of time. All timestamps are absolute
+// time.Time values so durations and deadlines compose with the standard
+// library.
+type Clock interface {
+	// Now reports the current instant on this clock.
+	Now() time.Time
+	// Sleep advances past d. On a SimClock this advances simulated time
+	// immediately; on SystemClock it blocks.
+	Sleep(d time.Duration)
+}
+
+// SystemClock is a Clock backed by the real time package.
+type SystemClock struct{}
+
+var _ Clock = SystemClock{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (SystemClock) Sleep(d time.Duration) { time.Sleep(d) }

@@ -1,0 +1,160 @@
+package vtime
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SimClock is a deterministic simulated clock with an event queue.
+//
+// The zero value is not usable; construct with NewSimClock. SimClock is safe
+// for concurrent use, although the simulation in this repository is
+// deliberately single-goroutine for determinism.
+type SimClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	queue  eventQueue
+	nextID uint64
+}
+
+var _ Clock = (*SimClock)(nil)
+
+// SimEpoch is the default origin for simulated time. Its concrete value is
+// irrelevant to results; a fixed non-zero origin makes logged timestamps
+// readable and catches code that wrongly compares against the zero Time.
+var SimEpoch = time.Date(2025, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// NewSimClock returns a SimClock starting at SimEpoch.
+func NewSimClock() *SimClock {
+	return &SimClock{now: SimEpoch}
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock by advancing simulated time, firing any events
+// scheduled inside the interval in timestamp order.
+func (c *SimClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.AdvanceTo(c.Now().Add(d))
+}
+
+// Advance moves simulated time forward by d, firing due events in order.
+func (c *SimClock) Advance(d time.Duration) {
+	c.Sleep(d)
+}
+
+// AdvanceTo moves simulated time forward to instant t, firing due events in
+// order. Moving backwards is a no-op.
+func (c *SimClock) AdvanceTo(t time.Time) {
+	for {
+		c.mu.Lock()
+		if len(c.queue) == 0 || c.queue[0].at.After(t) {
+			if t.After(c.now) {
+				c.now = t
+			}
+			c.mu.Unlock()
+			return
+		}
+		ev := heap.Pop(&c.queue).(*event)
+		if ev.at.After(c.now) {
+			c.now = ev.at
+		}
+		c.mu.Unlock()
+		ev.fn()
+	}
+}
+
+// Elapsed reports how much simulated time has passed since the given origin.
+func (c *SimClock) Elapsed(origin time.Time) time.Duration {
+	return c.Now().Sub(origin)
+}
+
+// Schedule registers fn to run when simulated time reaches now+delay.
+// Events scheduled for the same instant fire in scheduling order. The
+// callback runs on the goroutine that advances the clock.
+func (c *SimClock) Schedule(delay time.Duration, fn func()) {
+	if fn == nil {
+		panic("vtime: Schedule called with nil callback")
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	heap.Push(&c.queue, &event{at: c.now.Add(delay), seq: c.nextID, fn: fn})
+}
+
+// PendingEvents reports the number of scheduled events not yet fired.
+func (c *SimClock) PendingEvents() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queue)
+}
+
+// RunUntilIdle fires all scheduled events (including ones scheduled by
+// fired events), advancing time as needed, and returns the final instant.
+// It guards against runaway self-rescheduling with a generous event budget.
+func (c *SimClock) RunUntilIdle() time.Time {
+	const budget = 10_000_000
+	for i := 0; ; i++ {
+		if i >= budget {
+			panic(fmt.Sprintf("vtime: RunUntilIdle exceeded %d events; self-rescheduling loop?", budget))
+		}
+		c.mu.Lock()
+		if len(c.queue) == 0 {
+			now := c.now
+			c.mu.Unlock()
+			return now
+		}
+		ev := heap.Pop(&c.queue).(*event)
+		if ev.at.After(c.now) {
+			c.now = ev.at
+		}
+		c.mu.Unlock()
+		ev.fn()
+	}
+}
+
+// event is a single scheduled callback.
+type event struct {
+	at  time.Time
+	seq uint64 // tiebreak: FIFO among equal timestamps
+	fn  func()
+}
+
+// eventQueue is a min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

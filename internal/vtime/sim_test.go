@@ -1,0 +1,184 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSimClockStartsAtEpoch(t *testing.T) {
+	c := NewSimClock()
+	if got := c.Now(); !got.Equal(SimEpoch) {
+		t.Fatalf("Now() = %v, want %v", got, SimEpoch)
+	}
+}
+
+func TestSimClockSleepAdvances(t *testing.T) {
+	c := NewSimClock()
+	c.Sleep(3 * time.Second)
+	if got, want := c.Elapsed(SimEpoch), 3*time.Second; got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestSimClockSleepNonPositive(t *testing.T) {
+	c := NewSimClock()
+	c.Sleep(0)
+	c.Sleep(-time.Second)
+	if got := c.Elapsed(SimEpoch); got != 0 {
+		t.Fatalf("Elapsed = %v, want 0", got)
+	}
+}
+
+func TestSimClockAdvanceToBackwardsIsNoop(t *testing.T) {
+	c := NewSimClock()
+	c.Sleep(time.Minute)
+	c.AdvanceTo(SimEpoch)
+	if got, want := c.Elapsed(SimEpoch), time.Minute; got != want {
+		t.Fatalf("Elapsed = %v, want %v", got, want)
+	}
+}
+
+func TestSimClockScheduleFiresInOrder(t *testing.T) {
+	c := NewSimClock()
+	var order []int
+	c.Schedule(2*time.Second, func() { order = append(order, 2) })
+	c.Schedule(1*time.Second, func() { order = append(order, 1) })
+	c.Schedule(3*time.Second, func() { order = append(order, 3) })
+	c.Advance(5 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestSimClockScheduleSameInstantFIFO(t *testing.T) {
+	c := NewSimClock()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	c.Advance(time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestSimClockEventSeesOwnTimestamp(t *testing.T) {
+	c := NewSimClock()
+	var at time.Time
+	c.Schedule(7*time.Second, func() { at = c.Now() })
+	c.Advance(time.Hour)
+	if want := SimEpoch.Add(7 * time.Second); !at.Equal(want) {
+		t.Fatalf("callback observed Now()=%v, want %v", at, want)
+	}
+}
+
+func TestSimClockPartialAdvanceLeavesFutureEvents(t *testing.T) {
+	c := NewSimClock()
+	fired := 0
+	c.Schedule(1*time.Second, func() { fired++ })
+	c.Schedule(10*time.Second, func() { fired++ })
+	c.Advance(5 * time.Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d after partial advance, want 1", fired)
+	}
+	if got := c.PendingEvents(); got != 1 {
+		t.Fatalf("PendingEvents = %d, want 1", got)
+	}
+}
+
+func TestSimClockRunUntilIdleChainsEvents(t *testing.T) {
+	c := NewSimClock()
+	depth := 0
+	var chain func()
+	chain = func() {
+		depth++
+		if depth < 5 {
+			c.Schedule(time.Second, chain)
+		}
+	}
+	c.Schedule(time.Second, chain)
+	end := c.RunUntilIdle()
+	if depth != 5 {
+		t.Fatalf("chained events fired %d times, want 5", depth)
+	}
+	if want := SimEpoch.Add(5 * time.Second); !end.Equal(want) {
+		t.Fatalf("RunUntilIdle ended at %v, want %v", end, want)
+	}
+}
+
+func TestSimClockScheduleNegativeDelayFiresImmediately(t *testing.T) {
+	c := NewSimClock()
+	fired := false
+	c.Schedule(-time.Second, func() { fired = true })
+	c.Advance(0)
+	if fired {
+		t.Fatal("event fired without any advance")
+	}
+	c.Advance(time.Nanosecond)
+	if !fired {
+		t.Fatal("negative-delay event did not fire on first advance")
+	}
+}
+
+func TestSimClockScheduleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule(nil) did not panic")
+		}
+	}()
+	NewSimClock().Schedule(time.Second, nil)
+}
+
+func TestSystemClockNow(t *testing.T) {
+	before := time.Now()
+	got := SystemClock{}.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("SystemClock.Now() = %v outside [%v, %v]", got, before, after)
+	}
+}
+
+// Property: advancing by a sequence of non-negative durations always yields
+// an elapsed time equal to their sum, regardless of interleaved scheduling.
+func TestSimClockAdvanceSumProperty(t *testing.T) {
+	prop := func(steps []uint16) bool {
+		c := NewSimClock()
+		var total time.Duration
+		for _, s := range steps {
+			d := time.Duration(s) * time.Millisecond
+			c.Schedule(d/2, func() {})
+			c.Advance(d)
+			total += d
+		}
+		return c.Elapsed(SimEpoch) == total
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: events never fire before their scheduled instant.
+func TestSimClockNoEarlyFireProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		c := NewSimClock()
+		ok := true
+		for _, d := range delays {
+			delay := time.Duration(d) * time.Millisecond
+			due := c.Now().Add(delay)
+			c.Schedule(delay, func() {
+				if c.Now().Before(due) {
+					ok = false
+				}
+			})
+		}
+		c.RunUntilIdle()
+		return ok
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package discover
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/controller"
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/dongle"
+	"zcover/internal/zcover/scan"
+)
+
+// runDiscovery fingerprints and discovers against one testbed profile.
+func runDiscovery(t *testing.T, index string) (Result, scan.Fingerprint, *testbed.Testbed) {
+	t.Helper()
+	tb, err := testbed.New(index, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dongle.New(tb.Medium, tb.Region)
+	tb.ScheduleTraffic(6, 10*time.Second)
+	fp, err := scan.FingerprintTarget(d, time.Minute+10*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(d, cmdclass.MustLoad(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, fp, tb
+}
+
+func TestDiscoveryCountsMatchTableIV(t *testing.T) {
+	cases := map[string]struct{ unlisted, unknown int }{
+		"D1": {26, 28},
+		"D3": {28, 30},
+	}
+	for index, want := range cases {
+		res, _, _ := runDiscovery(t, index)
+		if got := len(res.UnlistedSpec); got != want.unlisted {
+			t.Errorf("%s: %d unlisted spec classes, want %d", index, got, want.unlisted)
+		}
+		if got := res.UnknownCount(); got != want.unknown {
+			t.Errorf("%s: %d unknown CMDCLs, want %d (Table IV)", index, got, want.unknown)
+		}
+		if got := len(res.Prioritized); got != 45 {
+			t.Errorf("%s: prioritized queue has %d classes, want 45 (Table V)", index, got)
+		}
+	}
+}
+
+func TestDiscoveryFindsBothProprietaryClasses(t *testing.T) {
+	res, _, _ := runDiscovery(t, "D2")
+	if len(res.HiddenConfirmed) != 2 {
+		t.Fatalf("hidden confirmed = %d classes, want 2", len(res.HiddenConfirmed))
+	}
+	ids := map[cmdclass.ClassID]bool{}
+	for _, c := range res.HiddenConfirmed {
+		ids[c.ID] = true
+	}
+	if !ids[cmdclass.ClassZWaveProtocol] || !ids[cmdclass.ClassProprietaryMfg] {
+		t.Fatalf("hidden confirmed = %v, want 0x01 and 0x02", res.HiddenConfirmed)
+	}
+	// The confirmed 0x01 resolves to the full protocol definition, giving
+	// the mutator its 23 commands.
+	for _, c := range res.HiddenConfirmed {
+		if c.ID == cmdclass.ClassZWaveProtocol && len(c.Commands) != 23 {
+			t.Errorf("0x01 resolved with %d commands, want 23", len(c.Commands))
+		}
+	}
+}
+
+func TestDiscoveryConfirms53Commands(t *testing.T) {
+	res, _, _ := runDiscovery(t, "D4")
+	if got := len(res.ConfirmedCommands); got != 53 {
+		t.Fatalf("validation confirmed %d commands, want 53 (Table V)", got)
+	}
+	// The confirmed set must be exactly the firmware's responder table.
+	want := controller.SupportedCommands()
+	for i, ref := range res.ConfirmedCommands {
+		if ref.Class != want[i].Class || ref.Cmd != want[i].Cmd {
+			t.Fatalf("confirmed[%d] = %s/%s, want %s/%s",
+				i, ref.Class, ref.Cmd, want[i].Class, want[i].Cmd)
+		}
+	}
+}
+
+func TestDiscoveryProbesAreSafe(t *testing.T) {
+	// Validation testing must not trip any vulnerability model: the
+	// probes are spec-shaped and benign by construction.
+	res, _, tb := runDiscovery(t, "D6")
+	if events := tb.Bus.Events(); len(events) != 0 {
+		t.Fatalf("discovery fired %d anomalies: %v", len(events), events)
+	}
+	if res.ProbesSent == 0 {
+		t.Fatal("no probes sent")
+	}
+	// The controller's memory must be untouched.
+	if tb.Controller.Table().Len() != 3 {
+		t.Fatalf("node table = %v after discovery", tb.Controller.Table().IDs())
+	}
+}
+
+func TestDiscoveryPrioritizesHiddenProtocolClassFirst(t *testing.T) {
+	res, _, _ := runDiscovery(t, "D1")
+	// 0x01 (23 commands) ties with NETWORK_MANAGEMENT_INCLUSION (23) and
+	// wins on the ID tiebreak: the bug-dense hidden class is fuzzed first.
+	if res.Prioritized[0].ID != cmdclass.ClassZWaveProtocol {
+		t.Fatalf("highest-priority class = %s, want 0x01", res.Prioritized[0].ID)
+	}
+}
+
+func TestBuildSafeProbeShapes(t *testing.T) {
+	reg := cmdclass.MustLoad()
+	fp := scan.Fingerprint{Controller: 0x01}
+	version, _ := reg.Get(cmdclass.ClassVersion)
+	cmd, _ := version.Command(cmdclass.CmdVersionCommandClassGet)
+	probe := BuildSafeProbe(version, cmd, fp)
+	if len(probe) != 3 || probe[0] != 0x86 || probe[1] != 0x13 || probe[2] != 0x00 {
+		t.Fatalf("probe = % X", probe)
+	}
+	// Variadic tails are omitted; fixed params take benign values.
+	proto, _ := cmdclass.HiddenClass(cmdclass.ClassZWaveProtocol)
+	reg13, _ := proto.Command(cmdclass.CmdProtoNewNodeRegistered)
+	probe = BuildSafeProbe(proto, reg13, fp)
+	if len(probe) != 2+7 {
+		t.Fatalf("NEW_NODE_REGISTERED probe has %d bytes, want 9", len(probe))
+	}
+	if probe[2] != 0x01 { // node ID parameter: the target controller
+		t.Fatalf("node-ID probe value = %#02x", probe[2])
+	}
+}
+
+func TestRunRejectsNilRegistry(t *testing.T) {
+	if _, err := Run(nil, nil, scan.Fingerprint{}); err == nil {
+		t.Fatal("Run accepted a nil registry")
+	}
+}

@@ -1,0 +1,119 @@
+package dongle
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/protocol"
+	"zcover/internal/radio"
+	"zcover/internal/testbed"
+	"zcover/internal/vtime"
+)
+
+func TestObserveCollectsScheduledTraffic(t *testing.T) {
+	tb, err := testbed.New("D6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb.Medium, tb.Region)
+	tb.ScheduleTraffic(3, 10*time.Second)
+	caps := d.Observe(time.Minute)
+	if len(caps) < 6 { // 3 lock reports + 3 switch reports (+ acks)
+		t.Fatalf("captured %d frames, want >= 6", len(caps))
+	}
+	for _, c := range caps {
+		if home, _, _, ok := protocol.SniffNetworkInfo(c.Raw); !ok || home != tb.Home() {
+			t.Fatalf("capture with wrong home: % X", c.Raw)
+		}
+	}
+}
+
+func TestSendAndObserveClassifiesAckAndResponse(t *testing.T) {
+	tb, err := testbed.New("D1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb.Medium, tb.Region)
+	ex, err := d.SendAndObserve(tb.Home(), 0x0F, testbed.ControllerID,
+		[]byte{0x86, 0x11}, DefaultResponseWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ex.Acked {
+		t.Fatal("controller did not ack")
+	}
+	if len(ex.Responses) != 1 || ex.Responses[0].CommandClass() != 0x86 {
+		t.Fatalf("responses = %v", ex.Responses)
+	}
+}
+
+func TestPingAliveAndHung(t *testing.T) {
+	tb, err := testbed.New("D1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb.Medium, tb.Region)
+	if !d.Ping(tb.Home(), 0x0F, testbed.ControllerID) {
+		t.Fatal("live controller did not answer ping")
+	}
+	// Hang the controller via bug 10 and confirm the ping fails.
+	if _, err := d.SendAndObserve(tb.Home(), 0x0F, testbed.ControllerID,
+		[]byte{0x86, 0x13, 0xE0}, DefaultResponseWindow); err != nil {
+		t.Fatal(err)
+	}
+	if d.Ping(tb.Home(), 0x0F, testbed.ControllerID) {
+		t.Fatal("hung controller answered ping")
+	}
+	d.Clock().Advance(5 * time.Second)
+	if !d.Ping(tb.Home(), 0x0F, testbed.ControllerID) {
+		t.Fatal("controller did not recover")
+	}
+}
+
+func TestSendRawCountsPackets(t *testing.T) {
+	m := radio.NewMedium(vtime.NewSimClock())
+	d := New(m, radio.RegionUS)
+	if err := d.SendRaw(make([]byte, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SendRaw(make([]byte, 12)); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.PacketsSent(); got != 2 {
+		t.Fatalf("PacketsSent = %d, want 2", got)
+	}
+}
+
+func TestDrainClearsBuffer(t *testing.T) {
+	tb, err := testbed.New("D1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb.Medium, tb.Region)
+	if err := tb.Lock.ReportStatus(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Drain()); got == 0 {
+		t.Fatal("no captures buffered")
+	}
+	if got := len(d.Drain()); got != 0 {
+		t.Fatalf("second drain returned %d captures", got)
+	}
+}
+
+func TestSendAndObserveIgnoresOtherNetworks(t *testing.T) {
+	tb, err := testbed.New("D1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New(tb.Medium, tb.Region)
+	// A frame for a different home ID gets no ack and no response.
+	ex, err := d.SendAndObserve(0x11223344, 0x0F, testbed.ControllerID,
+		[]byte{0x86, 0x11}, DefaultResponseWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Acked || len(ex.Responses) != 0 {
+		t.Fatalf("foreign-home exchange = %+v", ex)
+	}
+}

@@ -1,0 +1,62 @@
+package fuzz_test
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/harness"
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/fuzz"
+)
+
+// Failure injection: the engine must stay correct when the air is lossy
+// or noisy. Lost responses look like hangs (the liveness monitor retries),
+// corrupted frames are dropped by the victim's checksum — in both cases
+// the campaign must keep making progress rather than wedging or
+// misreporting.
+
+// lossyCampaign runs a full campaign on D1 with the given impairments.
+func lossyCampaign(t *testing.T, lossP, noiseP float64, budget time.Duration) *fuzz.Result {
+	t.Helper()
+	tb, err := testbed.New("D1", 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Medium.SetImpairments(lossP, noiseP, 55)
+	c, err := harness.RunZCover(tb, fuzz.StrategyFull, budget, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Fuzz
+}
+
+func TestCampaignSurvivesPacketLoss(t *testing.T) {
+	res := lossyCampaign(t, 0.05, 0, 2*time.Hour)
+	if len(res.Findings) < 8 {
+		t.Fatalf("5%% loss: found %d bugs in 2h, want >= 8", len(res.Findings))
+	}
+	if res.PacketsSent == 0 {
+		t.Fatal("no packets sent")
+	}
+}
+
+func TestCampaignSurvivesBitNoise(t *testing.T) {
+	res := lossyCampaign(t, 0, 0.05, 2*time.Hour)
+	if len(res.Findings) < 8 {
+		t.Fatalf("5%% noise: found %d bugs in 2h, want >= 8", len(res.Findings))
+	}
+}
+
+func TestCampaignSurvivesHarshConditions(t *testing.T) {
+	// 15% loss plus 10% corruption: the campaign slows down but neither
+	// deadlocks nor reports phantom findings.
+	res := lossyCampaign(t, 0.15, 0.10, time.Hour)
+	for _, f := range res.Findings {
+		if f.Event.Device == "" {
+			t.Fatalf("finding without oracle backing: %+v", f)
+		}
+	}
+	if res.Elapsed < time.Hour {
+		t.Fatalf("campaign ended early: %s", res.Elapsed)
+	}
+}

@@ -1,0 +1,96 @@
+package fuzz
+
+import (
+	"bufio"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// LogEntry is the serialised form of one finding — the bug log Algorithm 1
+// saves "to file for future analysis" (line 16). Entries are written as
+// JSON lines so logs concatenate and stream.
+type LogEntry struct {
+	// Strategy and Device label the campaign.
+	Strategy string `json:"strategy"`
+	Device   string `json:"device"`
+	// Signature is the deduplication key.
+	Signature string `json:"signature"`
+	// Kind, Class, Cmd describe the anomaly and its vector.
+	Kind  string `json:"kind"`
+	Class byte   `json:"cmdcl"`
+	Cmd   byte   `json:"cmd"`
+	// Payload is the hex-encoded trigger application payload.
+	Payload string `json:"payload"`
+	// Packets and ElapsedSec locate the discovery within the campaign.
+	Packets    int     `json:"packets"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// DurationSec is the observed outage (0 for persistent effects).
+	DurationSec float64 `json:"duration_sec"`
+	// Detail is the oracle's description.
+	Detail string `json:"detail"`
+}
+
+// WriteLog serialises a campaign's findings as JSON lines.
+func WriteLog(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	for _, f := range res.Findings {
+		entry := LogEntry{
+			Strategy:    string(res.Strategy),
+			Device:      res.Device,
+			Signature:   f.Signature,
+			Kind:        f.Event.Kind.String(),
+			Class:       f.Event.Class,
+			Cmd:         f.Event.Cmd,
+			Payload:     hex.EncodeToString(f.TriggerPayload),
+			Packets:     f.Packets,
+			ElapsedSec:  f.Elapsed.Seconds(),
+			DurationSec: f.Event.Duration.Seconds(),
+			Detail:      f.Event.Detail,
+		}
+		if err := enc.Encode(entry); err != nil {
+			return fmt.Errorf("fuzz: writing bug log: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadLog parses a JSON-lines bug log.
+func ReadLog(r io.Reader) ([]LogEntry, error) {
+	var out []LogEntry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var entry LogEntry
+		if err := json.Unmarshal(text, &entry); err != nil {
+			return nil, fmt.Errorf("fuzz: bug log line %d: %w", line, err)
+		}
+		out = append(out, entry)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fuzz: reading bug log: %w", err)
+	}
+	return out, nil
+}
+
+// TriggerPayload decodes the entry's hex payload.
+func (e LogEntry) TriggerPayload() ([]byte, error) {
+	raw, err := hex.DecodeString(e.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: bug log payload %q: %w", e.Payload, err)
+	}
+	return raw, nil
+}
+
+// Elapsed reconstructs the discovery time.
+func (e LogEntry) Elapsed() time.Duration {
+	return time.Duration(e.ElapsedSec * float64(time.Second))
+}

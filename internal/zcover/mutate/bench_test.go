@@ -1,0 +1,32 @@
+package mutate
+
+import (
+	"testing"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+)
+
+func BenchmarkSurfaceBuild(b *testing.B) {
+	proto, _ := cmdclass.HiddenClass(cmdclass.ClassZWaveProtocol)
+	m := New(Semantics{Controller: 1, KnownNodes: []protocol.NodeID{1, 2, 3}}, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := m.Stream(proto)
+		if s.SurfaceSize() == 0 {
+			b.Fatal("empty surface")
+		}
+	}
+}
+
+func BenchmarkStreamNext(b *testing.B) {
+	proto, _ := cmdclass.HiddenClass(cmdclass.ClassZWaveProtocol)
+	m := New(Semantics{Controller: 1, KnownNodes: []protocol.NodeID{1, 2, 3}}, 1)
+	s := m.Stream(proto)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if p := s.Next(); len(p) < 2 {
+			b.Fatal("short payload")
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package mutate implements phase 3's packet generator: ZCover's
+// position-sensitive mutation (§III-D, Table I, Algorithm 1).
+//
+// The generator treats the application payload as the hierarchical
+// structure of Fig. 6 — CMDCL at position 0, CMD at position 1, PARAMs in
+// dependent positions — and mutates each position according to its
+// spec-declared kind, using the mutation operators of Table I:
+//
+//	rand valid    replace with a randomly selected legal value
+//	rand invalid  replace with a randomly selected illegal value
+//	arith         add/subtract a small integer
+//	interesting   replace with boundary/interesting values
+//	insert        append a random byte
+//
+// Each class's stream starts with a deterministic *surface pass* that
+// systematically applies these operators position by position (structural
+// truncations, per-position pools, node-ID correlation pairs), then
+// continues with random refinement. The surface pass is what makes
+// ZCover's discoveries land within the first hundreds of packets (Fig. 12).
+package mutate
+
+import (
+	"math/rand"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/protocol"
+)
+
+// Semantics carries the network knowledge fingerprinting produced: the
+// value pools behind the paper's "dynamic and semantic mutation".
+type Semantics struct {
+	// Controller is the target controller's node ID.
+	Controller protocol.NodeID
+	// KnownNodes lists every node observed on the network.
+	KnownNodes []protocol.NodeID
+}
+
+// Interesting node IDs beyond the observed ones: broadcast, the two rogue
+// IDs of Fig. 9, unassigned, and the last assignable ID.
+var interestingNodeIDs = []byte{0xFF, 0x0A, 0xC8, 0x00, 0xE8}
+
+// byte-position pools per parameter kind (the "interesting" operator's
+// value sets).
+var (
+	bytePool    = []byte{0x00, 0x01, 0x7F, 0x80, 0xFE, 0xFF}
+	bitmaskPool = []byte{0xFF, 0x80, 0x07, 0x00}
+)
+
+// Mode selects the generator behaviour.
+type Mode int
+
+// Modes. Enum starts at 1.
+const (
+	// ModePositionSensitive is ZCover's full mutator.
+	ModePositionSensitive Mode = iota + 1
+	// ModeRandom is the γ ablation: random command and parameter bytes
+	// with no position awareness, no pools, no semantics.
+	ModeRandom
+)
+
+// Mutator generates test payloads for target classes.
+type Mutator struct {
+	sem  Semantics
+	mode Mode
+	seed int64
+}
+
+// New returns the position-sensitive mutator.
+func New(sem Semantics, seed int64) *Mutator {
+	return &Mutator{sem: sem, mode: ModePositionSensitive, seed: seed}
+}
+
+// NewRandom returns the γ-ablation mutator.
+func NewRandom(seed int64) *Mutator {
+	return &Mutator{mode: ModeRandom, seed: seed}
+}
+
+// Mode reports the generator behaviour.
+func (m *Mutator) Mode() Mode { return m.mode }
+
+// nodeIDPool builds the semantic node-ID value pool: known slaves first
+// (they make packets that reference real state), then the controller
+// itself, then interesting IDs.
+func (m *Mutator) nodeIDPool() []byte {
+	pool := make([]byte, 0, len(m.sem.KnownNodes)+len(interestingNodeIDs))
+	seen := make(map[byte]bool)
+	add := func(b byte) {
+		if !seen[b] {
+			seen[b] = true
+			pool = append(pool, b)
+		}
+	}
+	for _, id := range m.sem.KnownNodes {
+		if id != m.sem.Controller {
+			add(byte(id))
+		}
+	}
+	add(byte(m.sem.Controller))
+	for _, b := range interestingNodeIDs {
+		add(b)
+	}
+	return pool
+}
+
+// pool returns the per-position mutation value pool for a parameter.
+func (m *Mutator) pool(p cmdclass.Param) []byte {
+	switch p.Kind {
+	case cmdclass.ParamNodeID:
+		return m.nodeIDPool()
+	case cmdclass.ParamRange:
+		vals := []byte{p.Min, p.Max}
+		if p.Max < 0xFF {
+			vals = append(vals, p.Max+1)
+		}
+		if p.Min > 0 {
+			vals = append(vals, p.Min-1)
+		}
+		return append(vals, 0xFF)
+	case cmdclass.ParamEnum:
+		vals := append([]byte{}, p.Values...)
+		return append(vals, invalidEnumValue(p))
+	case cmdclass.ParamBitmask:
+		return bitmaskPool
+	default:
+		return bytePool
+	}
+}
+
+// invalidEnumValue picks a byte outside the enum's legal set (rand
+// invalid operator, deterministic flavour).
+func invalidEnumValue(p cmdclass.Param) byte {
+	for v := byte(0xFD); ; v-- {
+		if !p.Legal(v) {
+			return v
+		}
+	}
+}
+
+// defaultValue is the semantically valid filler for positions not under
+// mutation: a real slave node for node IDs, the first legal value
+// otherwise.
+func (m *Mutator) defaultValue(p cmdclass.Param) byte {
+	switch p.Kind {
+	case cmdclass.ParamNodeID:
+		pool := m.nodeIDPool()
+		if len(pool) > 0 {
+			return pool[0]
+		}
+		return 0x02
+	case cmdclass.ParamRange:
+		return p.Min
+	case cmdclass.ParamEnum:
+		if len(p.Values) > 0 {
+			return p.Values[0]
+		}
+		return 0x00
+	default:
+		return 0x00
+	}
+}
+
+// fixedParams returns the non-variadic parameter schemas of a command.
+func fixedParams(cmd cmdclass.Command) []cmdclass.Param {
+	out := cmd.Params
+	for i, p := range out {
+		if p.Kind == cmdclass.ParamVariadic {
+			return out[:i]
+		}
+	}
+	return out
+}
+
+// correlationNodeIDs orders the node-ID pool for the correlation pass:
+// IDs *not* observed on the network first (rogue-insertion shapes are the
+// whole point of correlating an unknown ID with type fields), then the
+// known ones.
+func (m *Mutator) correlationNodeIDs() []byte {
+	pool := m.nodeIDPool()
+	known := make(map[byte]bool, len(m.sem.KnownNodes))
+	for _, id := range m.sem.KnownNodes {
+		known[byte(id)] = true
+	}
+	out := make([]byte, 0, len(pool))
+	for _, v := range pool {
+		if !known[v] {
+			out = append(out, v)
+		}
+	}
+	for _, v := range pool {
+		if known[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Stream produces test payloads for one class: a deterministic surface
+// pass followed by unbounded random refinement.
+type Stream struct {
+	class   *cmdclass.Class
+	mut     *Mutator
+	surface [][]byte
+	quick   int // boundary of the quick pass (passes 1a + 1b)
+	next    int
+	rng     *rand.Rand
+}
+
+// Stream starts a payload stream for the class.
+func (m *Mutator) Stream(cls *cmdclass.Class) *Stream {
+	s := &Stream{
+		class: cls,
+		mut:   m,
+		rng:   rand.New(rand.NewSource(m.seed ^ int64(cls.ID)<<32)),
+	}
+	if m.mode == ModePositionSensitive {
+		s.surface, s.quick = m.buildSurface(cls)
+	}
+	return s
+}
+
+// QuickSize reports the size of the quick pass: the cheap class-wide
+// sweeps (bare commands and single-position pools) the engine runs across
+// every class before deep-diving any one of them.
+func (s *Stream) QuickSize() int { return s.quick }
+
+// Exhausted reports whether the deterministic surface has been consumed.
+func (s *Stream) Exhausted() bool { return s.next >= len(s.surface) }
+
+// SurfaceSize reports the deterministic prefix length.
+func (s *Stream) SurfaceSize() int { return len(s.surface) }
+
+// Next returns the next test payload. The stream never ends: after the
+// surface pass it generates random refinements indefinitely.
+func (s *Stream) Next() []byte {
+	if s.next < len(s.surface) {
+		p := s.surface[s.next]
+		s.next++
+		return p
+	}
+	if s.mut.mode == ModeRandom {
+		return s.randomNaive()
+	}
+	return s.randomRefinement()
+}
+
+// buildSurface constructs the deterministic pass for a class, returning
+// the packets and the quick-pass boundary.
+func (m *Mutator) buildSurface(cls *cmdclass.Class) ([][]byte, int) {
+	var out [][]byte
+	clsB := byte(cls.ID)
+
+	cmds := cls.Commands
+	if len(cmds) == 0 {
+		// A proprietary class with unknown structure: sweep command bytes.
+		for cmd := byte(0x00); cmd <= 0x10; cmd++ {
+			out = append(out, []byte{clsB, cmd})
+			out = append(out, []byte{clsB, cmd, 0x00})
+		}
+		return out, len(out)
+	}
+
+	// Pass 1a: every command bare (ascending ID) — catches commands whose
+	// parsers mishandle missing parameters.
+	for _, cmd := range cmds {
+		out = append(out, []byte{clsB, byte(cmd.ID)})
+	}
+
+	// Pass 1b: every command with a single mutated first-position value —
+	// the cheapest position-sensitive sweep, run across the whole class
+	// before drilling into any one command.
+	for _, cmd := range cmds {
+		var pool []byte
+		if fp := fixedParams(cmd); len(fp) > 0 {
+			pool = m.pool(fp[0])
+		} else {
+			pool = bytePool // junk byte on a parameterless command
+		}
+		for _, v := range pool {
+			out = append(out, []byte{clsB, byte(cmd.ID), v})
+		}
+	}
+
+	quick := len(out)
+
+	// Pass 2: per command, richest first (more parameters, more attack
+	// surface — the command-level analogue of the class prioritisation).
+	ordered := make([]cmdclass.Command, len(cmds))
+	copy(ordered, cmds)
+	sortByFixedParamsDesc(ordered)
+	for _, cmd := range ordered {
+		out = append(out, m.commandPipeline(clsB, cmd)...)
+	}
+	return out, quick
+}
+
+// sortByFixedParamsDesc orders commands by descending fixed-parameter
+// count, ties by ascending ID (stable, deterministic).
+func sortByFixedParamsDesc(cmds []cmdclass.Command) {
+	for i := 1; i < len(cmds); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cmds[j-1], cmds[j]
+			an, bn := len(fixedParams(a)), len(fixedParams(b))
+			if bn > an || (bn == an && b.ID < a.ID) {
+				cmds[j-1], cmds[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+}
+
+// commandPipeline is the deep surface pass for one command: truncations,
+// per-position pools at full length, insert, and node-ID correlation.
+func (m *Mutator) commandPipeline(clsB byte, cmd cmdclass.Command) [][]byte {
+	var out [][]byte
+	fp := fixedParams(cmd)
+	defaults := make([]byte, len(fp))
+	for i, p := range fp {
+		defaults[i] = m.defaultValue(p)
+	}
+	base := func() []byte {
+		pkt := []byte{clsB, byte(cmd.ID)}
+		return append(pkt, defaults...)
+	}
+
+	// Truncation sweep: spec-length violations with a mutated first
+	// position (lengths 2..3 — length 0 and 1 ran in passes 1a/1b).
+	if len(fp) >= 1 {
+		pool0 := m.pool(fp[0])
+		for plen := 2; plen <= 3 && plen < len(fp); plen++ {
+			for _, v := range pool0 {
+				pkt := []byte{clsB, byte(cmd.ID), v}
+				pkt = append(pkt, defaults[1:plen]...)
+				out = append(out, pkt)
+			}
+		}
+	}
+
+	// Positional pools at full length: mutate one position through its
+	// pool, others semantically valid.
+	for pos, p := range fp {
+		for _, v := range m.pool(p) {
+			pkt := base()
+			pkt[2+pos] = v
+			out = append(out, pkt)
+		}
+	}
+
+	// Insert operator: spec-length packet plus a trailing byte, with the
+	// first position swept (a mutated-but-plausible oversize packet).
+	if len(fp) >= 1 {
+		for _, v := range m.pool(fp[0]) {
+			pkt := base()
+			pkt[2] = v
+			out = append(out, append(pkt, 0x00))
+		}
+	} else {
+		out = append(out, append(base(), 0x00), append(base(), 0xAA))
+	}
+
+	// Correlation pass: when the first parameter is a node ID, its value
+	// changes the meaning of every later field, so sweep (node ID ×
+	// position value) pairs — the field-correlation idea the paper's
+	// mutation is named for.
+	if len(fp) >= 3 && fp[0].Kind == cmdclass.ParamNodeID {
+		for _, v := range m.correlationNodeIDs() {
+			for pos := 1; pos < len(fp); pos++ {
+				pool := m.pool(fp[pos])
+				if len(pool) > 3 {
+					pool = pool[:3]
+				}
+				for _, w := range pool {
+					pkt := base()
+					pkt[2] = v
+					pkt[2+pos] = w
+					out = append(out, pkt)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// randomRefinement applies Table I operators randomly after the surface
+// pass is exhausted.
+func (s *Stream) randomRefinement() []byte {
+	cls := s.class
+	clsB := byte(cls.ID)
+	if len(cls.Commands) == 0 {
+		return s.randomNaive()
+	}
+	// rand valid command (80%) or rand invalid command byte (20%).
+	var cmd cmdclass.Command
+	if s.rng.Intn(5) == 0 {
+		return append([]byte{clsB, byte(s.rng.Intn(256))}, s.randomBytes(s.rng.Intn(4))...)
+	}
+	cmd = cls.Commands[s.rng.Intn(len(cls.Commands))]
+	fp := fixedParams(cmd)
+	pkt := []byte{clsB, byte(cmd.ID)}
+	plen := len(fp)
+	if s.rng.Intn(3) == 0 { // structural mutation: wrong length
+		plen = s.rng.Intn(len(fp) + 2)
+	}
+	for i := 0; i < plen; i++ {
+		var p cmdclass.Param
+		if i < len(fp) {
+			p = fp[i]
+		} else {
+			p = cmdclass.Param{Kind: cmdclass.ParamByte}
+		}
+		pkt = append(pkt, s.mutateValue(p))
+	}
+	return pkt
+}
+
+// mutateValue applies one randomly chosen Table I operator to a position.
+func (s *Stream) mutateValue(p cmdclass.Param) byte {
+	switch s.rng.Intn(4) {
+	case 0: // rand valid
+		return s.mut.defaultValue(p)
+	case 1: // rand invalid / random byte
+		return byte(s.rng.Intn(256))
+	case 2: // arith
+		return s.mut.defaultValue(p) + byte(s.rng.Intn(9)) - 4
+	default: // interesting
+		pool := s.mut.pool(p)
+		return pool[s.rng.Intn(len(pool))]
+	}
+}
+
+// randomNaive is the γ generator: random command (from the spec list when
+// the class is known, random byte otherwise) and uniformly random
+// parameter bytes of random length — no pools, no semantics, no position
+// awareness.
+func (s *Stream) randomNaive() []byte {
+	clsB := byte(s.class.ID)
+	var cmdB byte
+	if len(s.class.Commands) > 0 {
+		cmdB = byte(s.class.Commands[s.rng.Intn(len(s.class.Commands))].ID)
+	} else {
+		cmdB = byte(s.rng.Intn(256))
+	}
+	return append([]byte{clsB, cmdB}, s.randomBytes(s.rng.Intn(5))...)
+}
+
+// randomBytes draws n uniform bytes.
+func (s *Stream) randomBytes(n int) []byte {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(s.rng.Intn(256))
+	}
+	return out
+}
+
+// RandomQueue builds the γ configuration's class queue: all 256 class IDs
+// in shuffled order, resolved against the public spec where possible and
+// as opaque classes otherwise. No prioritisation, no discovery.
+func RandomQueue(reg *cmdclass.Registry, seed int64) []*cmdclass.Class {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*cmdclass.Class, 0, 256)
+	for id := 0; id < 256; id++ {
+		if cls, ok := reg.Get(cmdclass.ClassID(id)); ok {
+			out = append(out, cls)
+			continue
+		}
+		out = append(out, &cmdclass.Class{
+			ID: cmdclass.ClassID(id), Name: "UNKNOWN",
+			Category: cmdclass.CategoryApplication, Scope: cmdclass.ScopeSlave,
+		})
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

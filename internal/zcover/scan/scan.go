@@ -1,0 +1,166 @@
+// Package scan implements phase 1 of ZCover: known-properties
+// fingerprinting (§III-B of the paper). The passive scanner extracts home
+// IDs and node IDs from sniffed traffic; the active scanner interrogates
+// the target controller with node-information-frame requests to learn its
+// listed command classes.
+package scan
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/device"
+	"zcover/internal/protocol"
+	"zcover/internal/zcover/dongle"
+)
+
+// AttackerNodeID is the source ID ZCover spoofs on injected frames. Any
+// ID unused by the target network works; 0x0F follows the paper's Fig. 4
+// example traffic.
+const AttackerNodeID protocol.NodeID = 0x0F
+
+// Network is one Z-Wave network discovered by passive scanning.
+type Network struct {
+	// Home is the network home ID.
+	Home protocol.HomeID
+	// Nodes lists every node ID observed communicating, ascending.
+	Nodes []protocol.NodeID
+	// Controller is the inferred controller node: the unicast destination
+	// that receives the most traffic (slaves report to their hub).
+	Controller protocol.NodeID
+	// Frames counts the captures attributed to this network.
+	Frames int
+}
+
+// Passive runs the passive scanner for the given window: packet capturing,
+// packet dissection, and packet analysis (the three steps of Fig. 4).
+// Encrypted (S2) traffic contributes too — S2 encrypts only the
+// application payload, so home and node IDs remain readable.
+func Passive(d *dongle.Dongle, window time.Duration) []Network {
+	captures := d.Observe(window)
+
+	type tally struct {
+		nodes    map[protocol.NodeID]bool
+		dstCount map[protocol.NodeID]int
+		frames   int
+	}
+	nets := make(map[protocol.HomeID]*tally)
+	for _, c := range captures {
+		// Packet dissection + analysis: header fields only, no checksum
+		// requirement — a damaged capture still reveals the network.
+		home, src, dst, ok := protocol.SniffNetworkInfo(c.Raw)
+		if !ok {
+			continue
+		}
+		t := nets[home]
+		if t == nil {
+			t = &tally{nodes: make(map[protocol.NodeID]bool), dstCount: make(map[protocol.NodeID]int)}
+			nets[home] = t
+		}
+		t.frames++
+		if src.IsUnicast() {
+			t.nodes[src] = true
+		}
+		if dst.IsUnicast() {
+			t.nodes[dst] = true
+			t.dstCount[dst]++
+		}
+	}
+
+	out := make([]Network, 0, len(nets))
+	for home, t := range nets {
+		n := Network{Home: home, Frames: t.frames}
+		for id := range t.nodes {
+			n.Nodes = append(n.Nodes, id)
+		}
+		sort.Slice(n.Nodes, func(i, j int) bool { return n.Nodes[i] < n.Nodes[j] })
+		best, bestCount := protocol.NodeID(0), -1
+		for id, count := range t.dstCount {
+			if count > bestCount || (count == bestCount && id < best) {
+				best, bestCount = id, count
+			}
+		}
+		n.Controller = best
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Home < out[j].Home })
+	return out
+}
+
+// Fingerprint is the complete known-properties profile of one controller:
+// the output of phase 1 and the input of phase 2.
+type Fingerprint struct {
+	// Home and Controller identify the target.
+	Home       protocol.HomeID
+	Controller protocol.NodeID
+	// Nodes lists every node observed on the network (slaves included) —
+	// the semantic value pool position-sensitive mutation draws from.
+	Nodes []protocol.NodeID
+	// Listed is the controller's advertised command-class list.
+	Listed []cmdclass.ClassID
+	// Identity is the full parsed NIF.
+	Identity device.Identity
+}
+
+// Active runs the active scanner against a network found passively:
+// dynamic device interrogation (a liveness probe), listed-property
+// querying (the NIF request), and response analysis (§III-B2).
+func Active(d *dongle.Dongle, net Network) (Fingerprint, error) {
+	fp := Fingerprint{Home: net.Home, Controller: net.Controller, Nodes: net.Nodes}
+	if !net.Controller.IsUnicast() {
+		return fp, fmt.Errorf("scan: network %s has no identified controller", net.Home)
+	}
+
+	// Step 1: dynamic device interrogation — confirm the target is alive.
+	if !d.Ping(net.Home, AttackerNodeID, net.Controller) {
+		return fp, fmt.Errorf("scan: controller %s of network %s did not answer liveness probe",
+			net.Controller, net.Home)
+	}
+
+	// Step 2: listed-property querying via a NIF request. Requests and
+	// responses can be lost on a noisy air, so the scanner retries a few
+	// times before concluding the controller is silent.
+	const nifRetries = 4
+	for attempt := 0; attempt < nifRetries; attempt++ {
+		ex, err := d.SendAndObserve(net.Home, AttackerNodeID, net.Controller,
+			device.NIFRequestPayload(net.Controller), dongle.DefaultResponseWindow)
+		if err != nil {
+			return fp, fmt.Errorf("scan: NIF request: %w", err)
+		}
+		// Step 3: response analysis.
+		for _, resp := range ex.Responses {
+			if id, ok := device.ParseNIF(resp.Payload); ok {
+				fp.Identity = id
+				fp.Listed = id.Classes
+				return fp, nil
+			}
+		}
+	}
+	return fp, fmt.Errorf("scan: controller %s sent no NIF after %d requests", net.Controller, nifRetries)
+}
+
+// FingerprintTarget is the phase-1 convenience entry point: sniff for the
+// window, pick the network with the given home ID (or the busiest network
+// when home is zero), and interrogate its controller.
+func FingerprintTarget(d *dongle.Dongle, window time.Duration, home protocol.HomeID) (Fingerprint, error) {
+	nets := Passive(d, window)
+	if len(nets) == 0 {
+		return Fingerprint{}, fmt.Errorf("scan: no Z-Wave traffic observed in %s", window)
+	}
+	var chosen *Network
+	for i := range nets {
+		n := &nets[i]
+		if home != 0 && n.Home != home {
+			continue
+		}
+		if chosen == nil || n.Frames > chosen.Frames {
+			chosen = n
+		}
+	}
+	if chosen == nil {
+		return Fingerprint{}, fmt.Errorf("scan: network %s not observed", home)
+	}
+	return Active(d, *chosen)
+}

@@ -1,0 +1,131 @@
+package scan
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/cmdclass"
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/dongle"
+)
+
+func newScanTestbed(t *testing.T, index string) (*testbed.Testbed, *dongle.Dongle) {
+	t.Helper()
+	tb, err := testbed.New(index, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, dongle.New(tb.Medium, tb.Region)
+}
+
+func TestPassiveFindsHomeAndNodes(t *testing.T) {
+	tb, d := newScanTestbed(t, "D6")
+	tb.ScheduleTraffic(6, 10*time.Second)
+	nets := Passive(d, time.Minute+10*time.Second)
+	if len(nets) != 1 {
+		t.Fatalf("found %d networks, want 1", len(nets))
+	}
+	n := nets[0]
+	if n.Home != tb.Home() {
+		t.Errorf("home = %s, want %s (Table IV)", n.Home, tb.Home())
+	}
+	if n.Controller != testbed.ControllerID {
+		t.Errorf("controller = %s, want node 1", n.Controller)
+	}
+	if len(n.Nodes) != 3 { // controller, lock, switch
+		t.Errorf("nodes = %v, want 3", n.Nodes)
+	}
+}
+
+func TestPassiveSeesThroughS2Encryption(t *testing.T) {
+	// Only the lock (S2) talks: the passive scanner must still identify
+	// the network because S2 encrypts the application payload only.
+	tb, d := newScanTestbed(t, "D6")
+	for i := 1; i <= 4; i++ {
+		tb.Clock.Schedule(time.Duration(i)*5*time.Second, func() { _ = tb.Lock.ReportStatus() })
+	}
+	nets := Passive(d, 30*time.Second)
+	if len(nets) != 1 || nets[0].Home != tb.Home() {
+		t.Fatalf("networks = %+v", nets)
+	}
+}
+
+func TestPassiveEmptyAir(t *testing.T) {
+	_, d := newScanTestbed(t, "D1")
+	if nets := Passive(d, 10*time.Second); len(nets) != 0 {
+		t.Fatalf("silent air produced networks: %+v", nets)
+	}
+}
+
+func TestActiveRetrievesListedClasses(t *testing.T) {
+	tb, d := newScanTestbed(t, "D4")
+	tb.ScheduleTraffic(4, 10*time.Second)
+	nets := Passive(d, time.Minute)
+	if len(nets) != 1 {
+		t.Fatal("no network")
+	}
+	fp, err := Active(d, nets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Listed) != 17 {
+		t.Fatalf("D4 listed %d classes, want 17 (Table IV)", len(fp.Listed))
+	}
+	has := func(id cmdclass.ClassID) bool {
+		for _, c := range fp.Listed {
+			if c == id {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(cmdclass.ClassSecurity2) || !has(cmdclass.ClassVersion) {
+		t.Errorf("listed classes missing expected entries: %v", fp.Listed)
+	}
+	if has(cmdclass.ClassZWaveProtocol) {
+		t.Error("hidden class 0x01 must not appear in the NIF")
+	}
+}
+
+func TestActiveLegacyControllerLists15(t *testing.T) {
+	tb, d := newScanTestbed(t, "D5")
+	tb.ScheduleTraffic(4, 10*time.Second)
+	fp, err := FingerprintTarget(d, time.Minute, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fp.Listed) != 15 {
+		t.Fatalf("D5 listed %d classes, want 15 (Table IV)", len(fp.Listed))
+	}
+	_ = tb
+}
+
+func TestActiveFailsWithoutController(t *testing.T) {
+	_, d := newScanTestbed(t, "D1")
+	if _, err := Active(d, Network{Home: 0x1234}); err == nil {
+		t.Fatal("Active accepted a network without a controller")
+	}
+}
+
+func TestFingerprintTargetSelectsRequestedHome(t *testing.T) {
+	tb, d := newScanTestbed(t, "D2")
+	tb.ScheduleTraffic(4, 10*time.Second)
+	if _, err := FingerprintTarget(d, time.Minute, 0xDEADBEEF); err == nil {
+		t.Fatal("unknown home accepted")
+	}
+	tb.ScheduleTraffic(4, 10*time.Second)
+	fp, err := FingerprintTarget(d, time.Minute, tb.Home())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Home != tb.Home() {
+		t.Fatalf("fingerprinted %s, want %s", fp.Home, tb.Home())
+	}
+}
+
+func TestFingerprintTargetNoTraffic(t *testing.T) {
+	_, d := newScanTestbed(t, "D1")
+	if _, err := FingerprintTarget(d, 5*time.Second, 0); err == nil {
+		t.Fatal("fingerprinting succeeded on a silent air")
+	}
+}

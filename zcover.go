@@ -1,0 +1,137 @@
+// Package zcover is a from-scratch Go reproduction of ZCover, the Z-Wave
+// controller security-analysis framework of Nkuba et al. (DSN 2025):
+// "ZCover: Uncovering Z-Wave Controller Vulnerabilities Through Systematic
+// Security Analysis of Application Layer Implementation".
+//
+// The library bundles two things:
+//
+//   - A simulated Z-Wave smart home standing in for the paper's hardware
+//     testbed: a software-defined sub-GHz air, emulated controllers D1–D7
+//     carrying the paper's fifteen Table III vulnerability models, an
+//     S2-paired door lock, and a legacy binary switch.
+//
+//   - The ZCover pipeline itself: passive/active fingerprinting, unknown
+//     command-class discovery (spec clustering plus validation testing),
+//     and the position-sensitive mutation fuzzer — plus a reimplementation
+//     of the VFuzz baseline for comparison.
+//
+// The quickest way in:
+//
+//	tb, err := zcover.NewTestbed("D6", 1)
+//	if err != nil { ... }
+//	campaign, err := zcover.Run(tb, zcover.StrategyFull, time.Hour, 1)
+//	for _, f := range campaign.Fuzz.Findings {
+//	    fmt.Println(f.Elapsed, f.Signature)
+//	}
+//
+// Every table and figure of the paper's evaluation can be regenerated with
+// the experiment drivers (Table3, Table4, Table5, Table6, Fig5, Fig12) or
+// the cmd/experiments binary.
+package zcover
+
+import (
+	"time"
+
+	"zcover/internal/harness"
+	"zcover/internal/oracle"
+	"zcover/internal/report"
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/fuzz"
+	"zcover/internal/zcover/scan"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Core workflow types, re-exported from the implementation packages.
+type (
+	// Testbed is one assembled smart-home system under test.
+	Testbed = testbed.Testbed
+	// Campaign is a complete ZCover run: fingerprint, discovery, fuzzing.
+	Campaign = harness.Campaign
+	// Strategy selects the fuzzing configuration.
+	Strategy = fuzz.Strategy
+	// Result is a fuzzing campaign summary.
+	Result = fuzz.Result
+	// Finding is one unique vulnerability discovery.
+	Finding = fuzz.Finding
+	// Fingerprint is the phase-1 output (home ID, node IDs, listed classes).
+	Fingerprint = scan.Fingerprint
+	// AnomalyEvent is one oracle observation.
+	AnomalyEvent = oracle.Event
+	// PaperBug is one row of the paper's Table III catalogue.
+	PaperBug = harness.PaperBug
+	// Table is a rendered experiment table.
+	Table = report.Table
+	// CSV is a rendered figure series.
+	CSV = report.CSV
+)
+
+// Fuzzing strategies (the three configurations of the paper's ablation).
+const (
+	// StrategyFull enables every ZCover feature.
+	StrategyFull = fuzz.StrategyFull
+	// StrategyKnownOnly is the β ablation: listed command classes only.
+	StrategyKnownOnly = fuzz.StrategyKnownOnly
+	// StrategyRandom is the γ ablation: random classes, naive mutation.
+	StrategyRandom = fuzz.StrategyRandom
+)
+
+// NewTestbed assembles the simulated smart home around the controller with
+// the given testbed index ("D1".."D7", per Table II). seed drives pairing
+// entropy deterministically.
+func NewTestbed(index string, seed int64) (*Testbed, error) {
+	return testbed.New(index, seed)
+}
+
+// NewPatchedTestbed assembles the same smart home around firmware built on
+// the updated specification of §V-B: the spec-rooted vulnerabilities are
+// closed, implementation bugs remain.
+func NewPatchedTestbed(index string, seed int64) (*Testbed, error) {
+	return testbed.NewPatched(index, seed)
+}
+
+// Run executes the full ZCover pipeline — fingerprinting, discovery, and
+// fuzzing for the given budget — against the testbed's controller.
+func Run(tb *Testbed, strategy Strategy, duration time.Duration, seed int64) (*Campaign, error) {
+	return harness.RunZCover(tb, strategy, duration, seed)
+}
+
+// RunObserved is Run with a callback invoked live for each new unique
+// finding (interactive progress).
+func RunObserved(tb *Testbed, strategy Strategy, duration time.Duration, seed int64, onFinding func(Finding)) (*Campaign, error) {
+	return harness.RunZCoverObserved(tb, strategy, duration, seed, onFinding)
+}
+
+// RunBaseline executes the VFuzz baseline against the testbed's controller
+// for the given budget.
+func RunBaseline(tb *Testbed, duration time.Duration, seed int64) (*Result, error) {
+	return harness.RunVFuzz(tb, duration, seed)
+}
+
+// PaperBugs returns the paper's Table III vulnerability catalogue.
+func PaperBugs() []PaperBug { return harness.PaperBugs() }
+
+// Experiment drivers, one per table and figure of the evaluation section.
+var (
+	// Fig1 dissects the Figure 1 example frame.
+	Fig1 = harness.Fig1
+	// Fig5 regenerates the command-class distribution of Figure 5.
+	Fig5 = harness.Fig5
+	// Fig12 regenerates the detection timelines of Figure 12.
+	Fig12 = harness.Fig12
+	// Figs8to11 reproduces the memory-tampering views of Figures 8-11.
+	Figs8to11 = harness.Figs8to11
+	// Table2 renders the testbed inventory.
+	Table2 = harness.Table2
+	// Table3 reruns the zero-day discovery campaign.
+	Table3 = harness.Table3
+	// Table4 reruns fingerprinting and discovery on all controllers.
+	Table4 = harness.Table4
+	// Table5 reruns the VFuzz comparison.
+	Table5 = harness.Table5
+	// Table6 reruns the ablation study.
+	Table6 = harness.Table6
+	// Remediation validates the §V-B specification-update mitigation.
+	Remediation = harness.Remediation
+)

@@ -1,0 +1,71 @@
+package zcover_test
+
+import (
+	"testing"
+	"time"
+
+	"zcover"
+)
+
+func TestPublicAPIQuickCampaign(t *testing.T) {
+	tb, err := zcover.NewTestbed("D1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := zcover.Run(tb, zcover.StrategyFull, 30*time.Minute, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fingerprint.Home.String() != "E7DE3F3D" {
+		t.Errorf("fingerprinted home %s", c.Fingerprint.Home)
+	}
+	if len(c.Fuzz.Findings) < 8 {
+		t.Errorf("30-minute campaign found %d bugs, want >= 8", len(c.Fuzz.Findings))
+	}
+	for _, f := range c.Fuzz.Findings {
+		if _, ok := findInCatalog(f.Signature); !ok {
+			t.Errorf("finding %s not in the paper catalogue", f.Signature)
+		}
+	}
+}
+
+func findInCatalog(sig string) (zcover.PaperBug, bool) {
+	for _, b := range zcover.PaperBugs() {
+		if b.Signature == sig {
+			return b, true
+		}
+	}
+	return zcover.PaperBug{}, false
+}
+
+func TestPublicAPIBaseline(t *testing.T) {
+	tb, err := zcover.NewTestbed("D4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := zcover.RunBaseline(tb, time.Hour, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ClassesCovered != 256 {
+		t.Errorf("baseline coverage = %d", res.ClassesCovered)
+	}
+}
+
+func TestPublicAPICatalog(t *testing.T) {
+	if got := len(zcover.PaperBugs()); got != 15 {
+		t.Fatalf("catalogue = %d bugs, want 15", got)
+	}
+}
+
+func TestPublicAPIExperimentDrivers(t *testing.T) {
+	if tbl := zcover.Fig1(); len(tbl.Rows) == 0 {
+		t.Error("Fig1 empty")
+	}
+	if _, csv, err := zcover.Fig5(); err != nil || len(csv.Rows) != 16 {
+		t.Errorf("Fig5 = %v rows, err %v", csv, err)
+	}
+	if tbl := zcover.Table2(); len(tbl.Rows) != 9 {
+		t.Error("Table2 wrong size")
+	}
+}
