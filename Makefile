@@ -1,0 +1,20 @@
+# Tier-1 gate and convenience targets. `make verify` must pass before
+# every commit; CI runs the same script.
+
+.PHONY: verify verify-full test bench build
+
+verify:
+	./scripts/verify.sh
+
+# Includes the 24h-budget campaign tests (slow; what CI runs nightly).
+verify-full:
+	./scripts/verify.sh -full
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test ./internal/harness -run XXX -bench BenchmarkFleetParallelism -benchtime 3x

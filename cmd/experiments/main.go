@@ -6,6 +6,13 @@
 //	experiments                 # everything, paper budgets
 //	experiments -run table5     # one experiment
 //	experiments -fuzz 2h        # shrink the 24 h campaigns (faster)
+//	experiments -workers 8      # parallel campaigns (0 = GOMAXPROCS)
+//	experiments -progress       # live fleet ticker on stderr
+//
+// Campaign experiments (table3/4/5/6, fig12, trials, remediation) are
+// scheduled across the internal/fleet worker pool: each campaign runs on
+// its own simulated testbed, so results are byte-identical for any
+// -workers value, including the sequential -workers=1 fallback.
 //
 // Figure data series are printed as CSV after the corresponding summary.
 package main
@@ -16,9 +23,11 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	"zcover"
+	"zcover/internal/fleet"
 	"zcover/internal/harness"
 	"zcover/internal/report"
 )
@@ -30,6 +39,41 @@ func main() {
 	}
 }
 
+// ticker renders fleet progress as a single self-overwriting stderr line.
+type ticker struct {
+	mu   sync.Mutex
+	last time.Time
+	live bool // a progress line is on screen
+}
+
+// update is the fleet.Config OnProgress callback.
+func (t *ticker) update(p fleet.Progress) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Throttle redraws; always render terminal states so the final counts
+	// are never stale.
+	if !p.Finished() && time.Since(t.last) < 100*time.Millisecond {
+		return
+	}
+	t.last = time.Now()
+	fmt.Fprintf(os.Stderr, "\r\033[Kfleet: %s", p)
+	t.live = true
+	if p.Finished() {
+		fmt.Fprintln(os.Stderr)
+		t.live = false
+	}
+}
+
+// clear ends a dangling progress line before normal output resumes.
+func (t *ticker) clear() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.live {
+		fmt.Fprintln(os.Stderr)
+		t.live = false
+	}
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, fig12, trials, remediation")
@@ -37,8 +81,16 @@ func run(args []string) error {
 	ablation := fs.Duration("ablation", time.Hour, "budget for the ablation study (paper: 1h)")
 	window := fs.Duration("window", 800*time.Second, "figure 12 plot window (paper: ~800s)")
 	outDir := fs.String("out", "", "also write figure CSV series into this directory")
+	workers := fs.Int("workers", 0, "parallel campaign workers; 1 = sequential, 0 = GOMAXPROCS")
+	attempts := fs.Int("attempts", 0, "attempts per campaign before it is reported failed (0 = fleet default)")
+	progress := fs.Bool("progress", false, "render a live fleet progress ticker on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	fleetCfg := fleet.Config{Workers: *workers, MaxAttempts: *attempts}
+	tick := &ticker{}
+	if *progress {
+		fleetCfg.OnProgress = tick.update
 	}
 	writeCSV := func(name, content string) error {
 		if *outDir == "" {
@@ -76,7 +128,8 @@ func run(args []string) error {
 	}
 	if want("table3") {
 		ran = true
-		tbl, _, err := zcover.Table3(*fuzzBudget)
+		tbl, _, err := harness.Table3Fleet(*fuzzBudget, fleetCfg)
+		tick.clear()
 		if err != nil {
 			return err
 		}
@@ -84,7 +137,8 @@ func run(args []string) error {
 	}
 	if want("table4") {
 		ran = true
-		tbl, _, err := zcover.Table4()
+		tbl, _, err := harness.Table4Fleet(fleetCfg)
+		tick.clear()
 		if err != nil {
 			return err
 		}
@@ -92,7 +146,8 @@ func run(args []string) error {
 	}
 	if want("table5") {
 		ran = true
-		tbl, _, err := zcover.Table5(*fuzzBudget)
+		tbl, _, err := harness.Table5Fleet(*fuzzBudget, fleetCfg)
+		tick.clear()
 		if err != nil {
 			return err
 		}
@@ -100,7 +155,8 @@ func run(args []string) error {
 	}
 	if want("table6") {
 		ran = true
-		tbl, _, err := zcover.Table6(*ablation)
+		tbl, _, err := harness.Table6Fleet(*ablation, fleetCfg)
+		tick.clear()
 		if err != nil {
 			return err
 		}
@@ -118,7 +174,8 @@ func run(args []string) error {
 	}
 	if want("remediation") {
 		ran = true
-		tbl, _, err := harness.Remediation(nil, *fuzzBudget)
+		tbl, _, err := harness.RemediationFleet(nil, *fuzzBudget, fleetCfg)
+		tick.clear()
 		if err != nil {
 			return err
 		}
@@ -128,7 +185,8 @@ func run(args []string) error {
 		ran = true
 		// "We conducted five 24-hour fuzzing trials for each controller."
 		for _, idx := range []string{"D1", "D2", "D3", "D4", "D5", "D6", "D7"} {
-			sum, err := harness.RunTrials(idx, 5, *fuzzBudget, 300)
+			sum, err := harness.RunTrialsFleet(idx, 5, *fuzzBudget, 300, fleetCfg)
+			tick.clear()
 			if err != nil {
 				return err
 			}
@@ -139,7 +197,8 @@ func run(args []string) error {
 	}
 	if want("fig12") {
 		ran = true
-		csvs, series, err := zcover.Fig12(*fuzzBudget, *window)
+		csvs, series, err := harness.Fig12Fleet(*fuzzBudget, *window, fleetCfg)
+		tick.clear()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,295 @@
+// Package fleet schedules many independent fuzzing campaigns across a
+// bounded worker pool.
+//
+// The paper's evaluation is dozens of self-contained 24-hour campaigns
+// (7 controllers × 3 strategies × multi-trial repeats); each one runs on
+// its own testbed.Testbed with a private simulated clock and radio medium,
+// so nothing stops them from running concurrently. The fleet is the
+// orchestration layer that exploits that: it accepts a slice of Job specs,
+// executes them across Config.Workers goroutines, and returns results in
+// deterministic job order regardless of completion order.
+//
+// Isolation is the core invariant. The fleet — not the caller — constructs
+// a fresh testbed for every attempt, so campaigns share no mutable state
+// and a retry never observes residue (oracle events, controller memory,
+// radio sniffer buffers) from a failed predecessor. A campaign that panics
+// is recovered and recorded, not propagated: one bad campaign cannot abort
+// a table. Failed attempts are retried with fresh testbed state up to
+// Config.MaxAttempts before the job is reported failed in its Result.
+//
+// Observability: Progress returns an atomic snapshot of the pool (jobs
+// queued/running/done/failed, live finding and packet counts, simulated
+// versus wall-clock throughput), and Config.OnProgress delivers the same
+// snapshot to a callback on every state change — cmd/experiments renders
+// it as a live ticker.
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/fuzz"
+)
+
+// DefaultMaxAttempts is how many times a job runs (first try plus retries)
+// before the fleet reports it failed.
+const DefaultMaxAttempts = 2
+
+// Job is one self-contained campaign spec: which controller to build a
+// testbed around and how to fuzz it. The zero strategy with Baseline set
+// runs the VFuzz comparison engine instead of the ZCover pipeline.
+type Job struct {
+	// Name labels the job in results and progress ("table5/D3/zcover").
+	// Optional; a label is derived from the other fields when empty.
+	Name string
+	// Device is the testbed index ("D1".."D7").
+	Device string
+	// Patched selects the §V-B updated-specification firmware.
+	Patched bool
+	// Strategy is the ZCover configuration (ignored for Baseline jobs).
+	Strategy fuzz.Strategy
+	// Baseline runs the VFuzz baseline instead of the ZCover pipeline.
+	Baseline bool
+	// Seed drives both the testbed assembly (S2 pairing entropy) and the
+	// campaign's mutation stream, exactly as the sequential drivers did.
+	Seed int64
+	// Budget is the fuzzing duration (simulated time).
+	Budget time.Duration
+}
+
+// Label returns Name, or a derived "device/strategy" label.
+func (j Job) Label() string {
+	if j.Name != "" {
+		return j.Name
+	}
+	if j.Baseline {
+		return j.Device + "/vfuzz"
+	}
+	return j.Device + "/" + string(j.Strategy)
+}
+
+// build assembles the job's private testbed. Every attempt gets a fresh
+// one, so campaigns share nothing and retries start clean.
+func (j Job) build() (*testbed.Testbed, error) {
+	if j.Patched {
+		return testbed.NewPatched(j.Device, j.Seed)
+	}
+	return testbed.New(j.Device, j.Seed)
+}
+
+// Runner executes one job attempt against a freshly built testbed and
+// returns the campaign outcome. The runner must confine itself to the
+// given testbed; obs reports live metrics into the pool. harness.RunFleetJob
+// is the canonical runner for the experiment drivers.
+type Runner[T any] func(tb *testbed.Testbed, job Job, obs *Observer) (T, error)
+
+// Config tunes the pool.
+type Config struct {
+	// Workers bounds campaign concurrency. Zero or negative means
+	// GOMAXPROCS. Workers=1 is the sequential fallback: byte-identical to
+	// running the jobs in a plain loop.
+	Workers int
+	// MaxAttempts is how many times a failing job is run (each attempt on
+	// a fresh testbed) before it is reported failed. Zero or negative
+	// means DefaultMaxAttempts.
+	MaxAttempts int
+	// OnProgress, if set, receives a Progress snapshot after every state
+	// change (job start/finish, retry, each new finding). Calls are
+	// serialized by the fleet; the callback must not block for long.
+	OnProgress func(Progress)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = DefaultMaxAttempts
+	}
+	return c
+}
+
+// Result is one job's outcome. Results are returned in job order.
+type Result[T any] struct {
+	// Job echoes the spec.
+	Job Job
+	// Value is the runner's return value (zero when Err is non-nil).
+	Value T
+	// Err is nil on success; otherwise the final attempt's error. A
+	// recovered panic surfaces as a *PanicError in the chain.
+	Err error
+	// Attempts is how many times the job ran (1 = first try succeeded).
+	Attempts int
+	// AttemptErrors records each failed attempt's error text, in order.
+	AttemptErrors []string
+	// Wall is the real time the job spent executing (all attempts).
+	Wall time.Duration
+}
+
+// PanicError wraps a panic recovered from a campaign so one bad run cannot
+// abort the whole table.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error implements error. The stack is kept out of the message so error
+// strings stay comparable across runs; read Stack for forensics.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("campaign panicked: %v", e.Value)
+}
+
+// Fleet executes a fixed job list across a worker pool. Construct with
+// New, start with Run, and poll Progress from any goroutine while running.
+type Fleet[T any] struct {
+	jobs   []Job
+	runner Runner[T]
+	cfg    Config
+
+	c counters
+
+	// progressMu serializes OnProgress callbacks.
+	progressMu sync.Mutex
+}
+
+// New builds a fleet over the given jobs. Run executes it.
+func New[T any](jobs []Job, runner Runner[T], cfg Config) *Fleet[T] {
+	if runner == nil {
+		panic("fleet: nil runner")
+	}
+	f := &Fleet[T]{jobs: jobs, runner: runner, cfg: cfg.withDefaults()}
+	f.c.total = len(jobs)
+	f.c.queued.Store(int64(len(jobs)))
+	return f
+}
+
+// Run executes every job and returns one Result per job, index-aligned
+// with the input slice regardless of completion order. Run blocks until
+// the whole fleet drains; call it once.
+func Run[T any](jobs []Job, runner Runner[T], cfg Config) []Result[T] {
+	return New(jobs, runner, cfg).Run()
+}
+
+// Run executes the fleet. See the package-level Run.
+func (f *Fleet[T]) Run() []Result[T] {
+	f.c.start(time.Now())
+	results := make([]Result[T], len(f.jobs))
+	workers := f.cfg.Workers
+	if workers > len(f.jobs) {
+		workers = len(f.jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Each results slot is written by exactly one worker, so the
+			// slice needs no lock; wg.Wait orders the writes before reads.
+			for i := range idx {
+				results[i] = f.execute(f.jobs[i])
+			}
+		}()
+	}
+	for i := range f.jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	f.notify()
+	return results
+}
+
+// Progress returns an atomic snapshot of the pool. Safe to call from any
+// goroutine, including concurrently with Run.
+func (f *Fleet[T]) Progress() Progress {
+	return f.c.snapshot()
+}
+
+// notify delivers a snapshot to the OnProgress callback, serialized.
+func (f *Fleet[T]) notify() {
+	if f.cfg.OnProgress == nil {
+		return
+	}
+	f.progressMu.Lock()
+	defer f.progressMu.Unlock()
+	f.cfg.OnProgress(f.c.snapshot())
+}
+
+// execute runs one job to completion: up to MaxAttempts attempts, each on
+// a fresh testbed, with panics recovered and live metrics rolled back for
+// attempts that fail.
+func (f *Fleet[T]) execute(job Job) Result[T] {
+	f.c.queued.Add(-1)
+	f.c.running.Add(1)
+	f.notify()
+
+	res := Result[T]{Job: job}
+	wallStart := time.Now()
+	for attempt := 1; attempt <= f.cfg.MaxAttempts; attempt++ {
+		res.Attempts = attempt
+		obs := &Observer{c: &f.c, onChange: f.notify}
+		val, err := f.attempt(job, obs)
+		if err == nil {
+			res.Value, res.Err = val, nil
+			break
+		}
+		// Undo the failed attempt's live contributions so the ticker
+		// reflects only completed or in-flight work, then retry clean.
+		obs.rollback()
+		res.AttemptErrors = append(res.AttemptErrors, err.Error())
+		res.Err = fmt.Errorf("fleet: job %s: attempt %d/%d: %w",
+			job.Label(), attempt, f.cfg.MaxAttempts, err)
+		if attempt < f.cfg.MaxAttempts {
+			f.c.retried.Add(1)
+			f.notify()
+		}
+	}
+	res.Wall = time.Since(wallStart)
+
+	f.c.running.Add(-1)
+	if res.Err != nil {
+		f.c.failed.Add(1)
+	} else {
+		f.c.done.Add(1)
+	}
+	f.notify()
+	return res
+}
+
+// attempt builds a fresh testbed and runs the job once, converting a
+// panic anywhere in the campaign stack into a *PanicError.
+func (f *Fleet[T]) attempt(job Job, obs *Observer) (val T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	tb, err := job.build()
+	if err != nil {
+		return val, err
+	}
+	return f.runner(tb, job, obs)
+}
+
+// FirstError returns the first failed job's error in job order, or nil if
+// every job succeeded. Drivers that want all-or-nothing semantics (every
+// table needs every row) use it to fail deterministically.
+func FirstError[T any](results []Result[T]) error {
+	for i := range results {
+		if results[i].Err != nil {
+			return results[i].Err
+		}
+	}
+	return nil
+}

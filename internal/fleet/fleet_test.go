@@ -1,0 +1,257 @@
+package fleet_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"zcover/internal/fleet"
+	"zcover/internal/harness"
+	"zcover/internal/oracle"
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/fuzz"
+)
+
+// jobSpec builds a short ZCover job for pool-mechanics tests.
+func zcoverJob(name, device string, seed int64) fleet.Job {
+	return fleet.Job{
+		Name: name, Device: device,
+		Strategy: fuzz.StrategyFull, Seed: seed, Budget: 2 * time.Minute,
+	}
+}
+
+func TestRunPreservesJobOrder(t *testing.T) {
+	jobs := []fleet.Job{
+		zcoverJob("a", "D1", 1), zcoverJob("b", "D2", 2), zcoverJob("c", "D3", 3),
+	}
+	runner := func(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (string, error) {
+		return job.Name + "/" + job.Device, nil
+	}
+	results := fleet.Run(jobs, runner, fleet.Config{Workers: 3})
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, want := range []string{"a/D1", "b/D2", "c/D3"} {
+		if results[i].Err != nil {
+			t.Fatalf("job %d failed: %v", i, results[i].Err)
+		}
+		if results[i].Value != want {
+			t.Errorf("results[%d] = %q, want %q (completion order must not leak)", i, results[i].Value, want)
+		}
+		if results[i].Attempts != 1 {
+			t.Errorf("results[%d].Attempts = %d, want 1", i, results[i].Attempts)
+		}
+	}
+	if err := fleet.FirstError(results); err != nil {
+		t.Errorf("FirstError = %v, want nil", err)
+	}
+}
+
+// TestDeterministicAcrossWorkerCounts is the core fleet invariant: the
+// same job list with the same seeds yields identical results whether the
+// campaigns run sequentially or across eight workers.
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	jobs := []fleet.Job{
+		zcoverJob("d1", "D1", 41),
+		zcoverJob("d2", "D2", 42),
+		{Name: "d1-vfuzz", Device: "D1", Baseline: true, Seed: 41, Budget: 2 * time.Minute},
+		{Name: "d3-beta", Device: "D3", Strategy: fuzz.StrategyKnownOnly, Seed: 43, Budget: 2 * time.Minute},
+	}
+	run := func(workers int) []fleet.Result[harness.FleetOutcome] {
+		return fleet.Run(jobs, harness.RunFleetJob, fleet.Config{Workers: workers})
+	}
+	seq := run(1)
+	par := run(8)
+	if err := fleet.FirstError(seq); err != nil {
+		t.Fatalf("sequential run failed: %v", err)
+	}
+	if err := fleet.FirstError(par); err != nil {
+		t.Fatalf("parallel run failed: %v", err)
+	}
+	for i := range jobs {
+		if seq[i].Attempts != par[i].Attempts {
+			t.Errorf("job %s: attempts %d (workers=1) vs %d (workers=8)",
+				jobs[i].Name, seq[i].Attempts, par[i].Attempts)
+		}
+		if !reflect.DeepEqual(seq[i].Value, par[i].Value) {
+			t.Errorf("job %s: campaign outcome differs between workers=1 and workers=8", jobs[i].Name)
+		}
+	}
+}
+
+func TestPanicIsolationAndRetry(t *testing.T) {
+	var boomAttempts atomic.Int64
+	runner := func(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (int, error) {
+		if job.Name == "boom" && boomAttempts.Add(1) == 1 {
+			panic("simulated campaign crash")
+		}
+		return int(job.Seed), nil
+	}
+	jobs := []fleet.Job{zcoverJob("ok1", "D1", 10), zcoverJob("boom", "D2", 20), zcoverJob("ok2", "D3", 30)}
+	results := fleet.Run(jobs, runner, fleet.Config{Workers: 2, MaxAttempts: 2})
+
+	if err := fleet.FirstError(results); err != nil {
+		t.Fatalf("retry should have rescued the panicking job: %v", err)
+	}
+	if results[1].Attempts != 2 {
+		t.Errorf("boom job ran %d attempts, want 2", results[1].Attempts)
+	}
+	if len(results[1].AttemptErrors) != 1 || results[1].AttemptErrors[0] != "campaign panicked: simulated campaign crash" {
+		t.Errorf("AttemptErrors = %q", results[1].AttemptErrors)
+	}
+	for _, i := range []int{0, 2} {
+		if results[i].Attempts != 1 || results[i].Value != int(jobs[i].Seed) {
+			t.Errorf("job %s was disturbed by its neighbour's panic: %+v", jobs[i].Name, results[i])
+		}
+	}
+}
+
+func TestRetryExhaustionReportsPanicError(t *testing.T) {
+	runner := func(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (int, error) {
+		panic(fmt.Sprintf("always broken: %s", job.Name))
+	}
+	results := fleet.Run([]fleet.Job{zcoverJob("doomed", "D1", 1)}, runner,
+		fleet.Config{Workers: 1, MaxAttempts: 3})
+	r := results[0]
+	if r.Err == nil {
+		t.Fatal("job must fail after exhausting attempts")
+	}
+	if r.Attempts != 3 || len(r.AttemptErrors) != 3 {
+		t.Errorf("attempts = %d, attempt errors = %d, want 3/3", r.Attempts, len(r.AttemptErrors))
+	}
+	var pe *fleet.PanicError
+	if !errors.As(r.Err, &pe) {
+		t.Fatalf("Err %v does not unwrap to *PanicError", r.Err)
+	}
+	if pe.Stack == "" {
+		t.Error("recovered panic lost its stack")
+	}
+}
+
+func TestRetryGetsFreshTestbed(t *testing.T) {
+	var attempts atomic.Int64
+	runner := func(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (int, error) {
+		if len(tb.Bus.Events()) != 0 {
+			t.Error("retry observed oracle events from a previous attempt")
+		}
+		if tb.Bus.Subscribers() != 0 {
+			t.Error("retry observed leaked bus subscribers from a previous attempt")
+		}
+		tb.Bus.Emit(oracle.Event{Device: job.Device, Kind: oracle.HostCrash})
+		if attempts.Add(1) == 1 {
+			return 0, errors.New("transient failure")
+		}
+		return 1, nil
+	}
+	results := fleet.Run([]fleet.Job{zcoverJob("j", "D1", 7)}, runner,
+		fleet.Config{Workers: 1, MaxAttempts: 2})
+	if results[0].Err != nil {
+		t.Fatalf("second attempt should succeed: %v", results[0].Err)
+	}
+	if results[0].Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", results[0].Attempts)
+	}
+}
+
+func TestUnknownDeviceFailsAfterAttempts(t *testing.T) {
+	runner := func(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (int, error) {
+		t.Error("runner must not be called when the testbed cannot be built")
+		return 0, nil
+	}
+	results := fleet.Run([]fleet.Job{zcoverJob("bad", "D99", 1)}, runner, fleet.Config{Workers: 1})
+	if results[0].Err == nil {
+		t.Fatal("unknown device must fail the job")
+	}
+	if results[0].Attempts != fleet.DefaultMaxAttempts {
+		t.Errorf("attempts = %d, want default %d", results[0].Attempts, fleet.DefaultMaxAttempts)
+	}
+}
+
+func TestProgressCountersAndRollback(t *testing.T) {
+	var failedOnce atomic.Bool
+	runner := func(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (int, error) {
+		obs.Finding()
+		obs.Finding()
+		obs.Packets(100)
+		obs.SimTime(time.Hour)
+		if job.Name == "flaky" && !failedOnce.Swap(true) {
+			return 0, errors.New("first attempt dies after reporting metrics")
+		}
+		return 1, nil
+	}
+	var mu sync.Mutex
+	var last fleet.Progress
+	f := fleet.New([]fleet.Job{zcoverJob("steady", "D1", 1), zcoverJob("flaky", "D2", 2)},
+		runner, fleet.Config{Workers: 1, MaxAttempts: 2, OnProgress: func(p fleet.Progress) {
+			mu.Lock()
+			last = p
+			mu.Unlock()
+		}})
+	results := f.Run()
+	if err := fleet.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+
+	p := f.Progress()
+	if !p.Finished() || p.Done != 2 || p.Failed != 0 || p.Total != 2 {
+		t.Errorf("final progress %+v", p)
+	}
+	if p.Retried != 1 {
+		t.Errorf("retried = %d, want 1", p.Retried)
+	}
+	// The flaky job's first attempt reported 2 findings/100 packets/1h sim
+	// before dying; those must have been rolled back, leaving exactly two
+	// successful attempts' worth.
+	if p.Findings != 4 || p.Packets != 200 || p.SimTime != 2*time.Hour {
+		t.Errorf("metrics not rolled back: findings=%d packets=%d sim=%s",
+			p.Findings, p.Packets, p.SimTime)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !last.Finished() {
+		t.Errorf("last OnProgress snapshot not terminal: %+v", last)
+	}
+}
+
+func TestLiveMetricsFlowThroughHarnessRunner(t *testing.T) {
+	f := fleet.New([]fleet.Job{zcoverJob("live", "D1", 41)}, harness.RunFleetJob,
+		fleet.Config{Workers: 1})
+	results := f.Run()
+	if err := fleet.FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	res := results[0].Value.Fuzz()
+	p := f.Progress()
+	if p.Findings != len(res.Findings) {
+		t.Errorf("progress findings = %d, campaign found %d", p.Findings, len(res.Findings))
+	}
+	if p.Packets != int64(res.PacketsSent) {
+		t.Errorf("progress packets = %d, campaign sent %d", p.Packets, res.PacketsSent)
+	}
+	if p.SimTime != res.Elapsed {
+		t.Errorf("progress sim time = %s, campaign elapsed %s", p.SimTime, res.Elapsed)
+	}
+	if len(res.Findings) == 0 {
+		t.Error("2-minute D1 campaign found nothing; live-metric test is vacuous")
+	}
+}
+
+func TestJobLabel(t *testing.T) {
+	cases := []struct {
+		job  fleet.Job
+		want string
+	}{
+		{fleet.Job{Name: "explicit", Device: "D1"}, "explicit"},
+		{fleet.Job{Device: "D2", Strategy: fuzz.StrategyFull}, "D2/zcover-full"},
+		{fleet.Job{Device: "D3", Baseline: true}, "D3/vfuzz"},
+	}
+	for _, c := range cases {
+		if got := c.job.Label(); got != c.want {
+			t.Errorf("Label() = %q, want %q", got, c.want)
+		}
+	}
+}

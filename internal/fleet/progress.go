@@ -1,0 +1,123 @@
+package fleet
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is an atomic snapshot of a running fleet. All counters are
+// monotonic except Queued/Running, which shrink as jobs drain.
+type Progress struct {
+	// Total is the job count the fleet was built with.
+	Total int
+	// Queued jobs have not started; Running are in flight; Done finished
+	// successfully; Failed exhausted their attempts.
+	Queued, Running, Done, Failed int
+	// Retried counts attempts that failed and were rescheduled on a fresh
+	// testbed.
+	Retried int
+	// Findings is the live unique-vulnerability count across the fleet
+	// (contributions from attempts that later fail are rolled back).
+	Findings int
+	// Packets is the live test-packet count across the fleet.
+	Packets int64
+	// SimTime is the total simulated campaign time completed.
+	SimTime time.Duration
+	// Wall is the real time since Run started (zero before Run).
+	Wall time.Duration
+}
+
+// Finished reports whether every job has drained.
+func (p Progress) Finished() bool { return p.Done+p.Failed == p.Total }
+
+// SimRate is the fleet's throughput: simulated campaign time delivered
+// per wall-clock second. A 7-worker fleet of healthy campaigns should
+// approach 7× a single worker's rate on idle hardware.
+func (p Progress) SimRate() float64 {
+	if p.Wall <= 0 {
+		return 0
+	}
+	return p.SimTime.Seconds() / p.Wall.Seconds()
+}
+
+// String renders a one-line ticker form.
+func (p Progress) String() string {
+	return fmt.Sprintf("%d/%d done, %d running, %d queued, %d failed | %d findings, %d pkts | %s sim in %s (%.1fx)",
+		p.Done, p.Total, p.Running, p.Queued, p.Failed,
+		p.Findings, p.Packets,
+		p.SimTime.Round(time.Second), p.Wall.Round(time.Millisecond), p.SimRate())
+}
+
+// counters is the fleet's shared atomic state behind Progress snapshots.
+type counters struct {
+	total     int
+	startWall atomic.Int64 // unix nanos; 0 until Run starts
+
+	queued, running, done, failed, retried atomic.Int64
+	findings, packets, simNanos            atomic.Int64
+}
+
+func (c *counters) start(t time.Time) {
+	c.startWall.CompareAndSwap(0, t.UnixNano())
+}
+
+func (c *counters) snapshot() Progress {
+	p := Progress{
+		Total:    c.total,
+		Queued:   int(c.queued.Load()),
+		Running:  int(c.running.Load()),
+		Done:     int(c.done.Load()),
+		Failed:   int(c.failed.Load()),
+		Retried:  int(c.retried.Load()),
+		Findings: int(c.findings.Load()),
+		Packets:  c.packets.Load(),
+		SimTime:  time.Duration(c.simNanos.Load()),
+	}
+	if s := c.startWall.Load(); s != 0 {
+		p.Wall = time.Since(time.Unix(0, s))
+	}
+	return p
+}
+
+// Observer is the metrics channel a Runner reports through. Each attempt
+// gets its own observer; if the attempt fails, its contributions are
+// subtracted back out so retries do not double-count.
+type Observer struct {
+	c        *counters
+	onChange func()
+
+	findings int64
+	packets  int64
+	simNanos int64
+}
+
+// Finding records one new unique vulnerability (live — call it from the
+// campaign's OnFinding callback).
+func (o *Observer) Finding() {
+	o.findings++
+	o.c.findings.Add(1)
+	if o.onChange != nil {
+		o.onChange()
+	}
+}
+
+// Packets adds n test packets to the fleet totals.
+func (o *Observer) Packets(n int) {
+	o.packets += int64(n)
+	o.c.packets.Add(int64(n))
+}
+
+// SimTime adds completed simulated campaign time to the fleet totals.
+func (o *Observer) SimTime(d time.Duration) {
+	o.simNanos += int64(d)
+	o.c.simNanos.Add(int64(d))
+}
+
+// rollback subtracts everything this attempt reported.
+func (o *Observer) rollback() {
+	o.c.findings.Add(-o.findings)
+	o.c.packets.Add(-o.packets)
+	o.c.simNanos.Add(-o.simNanos)
+	o.findings, o.packets, o.simNanos = 0, 0, 0
+}

@@ -87,9 +87,15 @@ func RunZCoverObserved(tb *testbed.Testbed, strategy fuzz.Strategy, duration tim
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
-	tb.Bus.Subscribe(engine.Observe)
+	sub := tb.Bus.Subscribe(engine.Observe)
+	defer sub.Unsubscribe()
 	out.Fuzz = engine.Run()
-	out.Fuzz.CommandsCovered = len(out.Discovery.ConfirmedCommands)
+	if strategy == fuzz.StrategyFull {
+		// Only the full strategy runs discovery; for β/γ the engine's own
+		// count stands rather than being clobbered by the zero-value
+		// Discovery.
+		out.Fuzz.CommandsCovered = len(out.Discovery.ConfirmedCommands)
+	}
 	return out, nil
 }
 
@@ -97,6 +103,11 @@ func RunZCoverObserved(tb *testbed.Testbed, strategy fuzz.Strategy, duration tim
 // VFuzz fingerprints the network the same way (it, too, scans for home and
 // node IDs) and then fuzzes MAC frames for the budget.
 func RunVFuzz(tb *testbed.Testbed, duration time.Duration, seed int64) (*fuzz.Result, error) {
+	return RunVFuzzObserved(tb, duration, seed, nil)
+}
+
+// RunVFuzzObserved is RunVFuzz with a live finding callback.
+func RunVFuzzObserved(tb *testbed.Testbed, duration time.Duration, seed int64, onFinding func(fuzz.Finding)) (*fuzz.Result, error) {
 	d := dongle.New(tb.Medium, tb.Region)
 	tb.ScheduleTraffic(12, 10*time.Second)
 	nets := scan.Passive(d, PassiveScanWindow)
@@ -104,8 +115,11 @@ func RunVFuzz(tb *testbed.Testbed, duration time.Duration, seed int64) (*fuzz.Re
 		return nil, fmt.Errorf("harness: vfuzz: no traffic observed")
 	}
 	net := nets[0]
-	engine := vfuzz.New(d, net.Home, net.Controller, vfuzz.Config{Duration: duration, Seed: seed})
-	tb.Bus.Subscribe(engine.Observe)
+	engine := vfuzz.New(d, net.Home, net.Controller, vfuzz.Config{
+		Duration: duration, Seed: seed, OnFinding: onFinding,
+	})
+	sub := tb.Bus.Subscribe(engine.Observe)
+	defer sub.Unsubscribe()
 	res := engine.Run()
 	res.Device = tb.Controller.Profile().Index
 	return res, nil

@@ -9,8 +9,8 @@ import (
 
 	"zcover/internal/cmdclass"
 	"zcover/internal/controller"
+	"zcover/internal/fleet"
 	"zcover/internal/report"
-	"zcover/internal/testbed"
 	"zcover/internal/zcover/fuzz"
 )
 
@@ -98,23 +98,35 @@ type Table3Result struct {
 // paper) against every testbed device and reconciles the union of unique
 // findings against the Table III catalogue.
 func Table3(duration time.Duration) (*report.Table, *Table3Result, error) {
+	return Table3Fleet(duration, fleet.Config{})
+}
+
+// Table3Fleet is Table3 with the campaigns scheduled across a fleet
+// worker pool. Output is identical for any worker count: each campaign is
+// seeded per device and runs on its own testbed, and rows are assembled in
+// job order.
+func Table3Fleet(duration time.Duration, cfg fleet.Config) (*report.Table, *Table3Result, error) {
 	if duration <= 0 {
 		duration = 24 * time.Hour
+	}
+	profiles := controller.Profiles()
+	var jobs []fleet.Job
+	for _, p := range profiles {
+		jobs = append(jobs, fleet.Job{
+			Name: "table3/" + p.Index, Device: p.Index,
+			Strategy: fuzz.StrategyFull, Seed: deviceSeed(p.Index), Budget: duration,
+		})
+	}
+	outs, err := runCampaigns(jobs, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
 	res := &Table3Result{
 		PerDevice: make(map[string][]string),
 		Affected:  make(map[controller.BugID][]string),
 	}
-	for _, p := range controller.Profiles() {
-		tb, err := testbed.New(p.Index, deviceSeed(p.Index))
-		if err != nil {
-			return nil, nil, err
-		}
-		c, err := RunZCover(tb, fuzz.StrategyFull, duration, deviceSeed(p.Index))
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, f := range c.Fuzz.Findings {
+	for i, p := range profiles {
+		for _, f := range outs[i].Fuzz().Findings {
 			res.PerDevice[p.Index] = append(res.PerDevice[p.Index], f.Signature)
 			if bug, ok := BugBySignature(f.Signature); ok {
 				res.Affected[bug.ID] = append(res.Affected[bug.ID], p.Index)
@@ -176,21 +188,31 @@ type Table4Row struct {
 // Table4 runs phases 1 and 2 against every controller and reports the
 // known/unknown property counts of Table IV.
 func Table4() (*report.Table, []Table4Row, error) {
+	return Table4Fleet(fleet.Config{})
+}
+
+// Table4Fleet is Table4 scheduled across a fleet worker pool.
+func Table4Fleet(cfg fleet.Config) (*report.Table, []Table4Row, error) {
 	out := &report.Table{
 		Title:   "Table IV: known properties fingerprinting and unknown properties discovery",
 		Headers: []string{"ID", "Home ID", "Node ID", "Known CMDCLs", "Unknown CMDCLs"},
 	}
+	profiles := controller.Profiles()
+	var jobs []fleet.Job
+	for _, p := range profiles {
+		// Fingerprint + discovery only: a one-second fuzzing budget.
+		jobs = append(jobs, fleet.Job{
+			Name: "table4/" + p.Index, Device: p.Index,
+			Strategy: fuzz.StrategyFull, Seed: deviceSeed(p.Index), Budget: time.Second,
+		})
+	}
+	outs, err := runCampaigns(jobs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	var rows []Table4Row
-	for _, p := range controller.Profiles() {
-		tb, err := testbed.New(p.Index, deviceSeed(p.Index))
-		if err != nil {
-			return nil, nil, err
-		}
-		// Fingerprint + discovery only: a zero-length fuzzing budget.
-		c, err := RunZCover(tb, fuzz.StrategyFull, time.Second, deviceSeed(p.Index))
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, p := range profiles {
+		c := outs[i].Campaign
 		row := Table4Row{
 			Index:    p.Index,
 			Home:     c.Fingerprint.Home.String(),
@@ -219,6 +241,12 @@ type Table5Row struct {
 // Table5 compares VFuzz and ZCover on controllers D1–D5 with equal
 // budgets (24 h in the paper).
 func Table5(duration time.Duration) (*report.Table, []Table5Row, error) {
+	return Table5Fleet(duration, fleet.Config{})
+}
+
+// Table5Fleet is Table5 with the ten campaigns (VFuzz + ZCover per
+// device) scheduled across a fleet worker pool.
+func Table5Fleet(duration time.Duration, cfg fleet.Config) (*report.Table, []Table5Row, error) {
 	if duration <= 0 {
 		duration = 24 * time.Hour
 	}
@@ -231,25 +259,24 @@ func Table5(duration time.Duration) (*report.Table, []Table5Row, error) {
 			"45 known+unknown CMDCLs and the 53 validated commands.",
 		},
 	}
-	var rows []Table5Row
-	for _, idx := range []string{"D1", "D2", "D3", "D4", "D5"} {
+	devices := []string{"D1", "D2", "D3", "D4", "D5"}
+	var jobs []fleet.Job
+	for _, idx := range devices {
 		seed := deviceSeed(idx)
-		vtb, err := testbed.New(idx, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		vres, err := RunVFuzz(vtb, duration, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		ztb, err := testbed.New(idx, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		zc, err := RunZCover(ztb, fuzz.StrategyFull, duration, seed)
-		if err != nil {
-			return nil, nil, err
-		}
+		jobs = append(jobs,
+			fleet.Job{Name: "table5/" + idx + "/vfuzz", Device: idx,
+				Baseline: true, Seed: seed, Budget: duration},
+			fleet.Job{Name: "table5/" + idx + "/zcover", Device: idx,
+				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration})
+	}
+	outs, err := runCampaigns(jobs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Table5Row
+	for i, idx := range devices {
+		vres := outs[2*i].Baseline
+		zc := outs[2*i+1].Campaign
 		overlap := 0
 		zSigs := make(map[string]bool, len(zc.Fuzz.Findings))
 		for _, f := range zc.Fuzz.Findings {
@@ -289,6 +316,12 @@ type Table6Row struct {
 // Table6 runs the ablation study: one hour on the ZooZ controller under
 // the three configurations of §IV-D.
 func Table6(duration time.Duration) (*report.Table, []Table6Row, error) {
+	return Table6Fleet(duration, fleet.Config{})
+}
+
+// Table6Fleet is Table6 with the three ablation campaigns scheduled
+// across a fleet worker pool.
+func Table6Fleet(duration time.Duration, fcfg fleet.Config) (*report.Table, []Table6Row, error) {
 	if duration <= 0 {
 		duration = time.Hour
 	}
@@ -306,16 +339,20 @@ func Table6(duration time.Duration) (*report.Table, []Table6Row, error) {
 		Title:   "Table VI: ablation study on ZCover core features (1 h, ZooZ controller)",
 		Headers: []string{"Test", "Fuzzing configuration", "#Vul."},
 	}
-	var rows []Table6Row
+	var jobs []fleet.Job
 	for _, cfg := range configs {
-		tb, err := testbed.New("D1", cfg.seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		c, err := RunZCover(tb, cfg.strategy, duration, cfg.seed)
-		if err != nil {
-			return nil, nil, err
-		}
+		jobs = append(jobs, fleet.Job{
+			Name: fmt.Sprintf("table6/%d/%s", cfg.test, cfg.strategy), Device: "D1",
+			Strategy: cfg.strategy, Seed: cfg.seed, Budget: duration,
+		})
+	}
+	outs, err := runCampaigns(jobs, fcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []Table6Row
+	for i, cfg := range configs {
+		c := outs[i].Campaign
 		row := Table6Row{
 			Test: cfg.test, Config: cfg.name, Strategy: cfg.strategy,
 			Vulns: len(c.Fuzz.Findings), Packets: c.Fuzz.PacketsSent,
@@ -340,23 +377,34 @@ type Fig12Series struct {
 // full duration; the figure window trims to the first windowSecs seconds,
 // where most discoveries land.
 func Fig12(duration time.Duration, window time.Duration) ([]*report.CSV, []Fig12Series, error) {
+	return Fig12Fleet(duration, window, fleet.Config{})
+}
+
+// Fig12Fleet is Fig12 with the four timeline campaigns scheduled across a
+// fleet worker pool.
+func Fig12Fleet(duration, window time.Duration, cfg fleet.Config) ([]*report.CSV, []Fig12Series, error) {
 	if duration <= 0 {
 		duration = 24 * time.Hour
 	}
 	if window <= 0 {
 		window = 800 * time.Second
 	}
+	devices := []string{"D1", "D3", "D4", "D5"}
+	var jobs []fleet.Job
+	for _, idx := range devices {
+		jobs = append(jobs, fleet.Job{
+			Name: "fig12/" + idx, Device: idx,
+			Strategy: fuzz.StrategyFull, Seed: deviceSeed(idx), Budget: duration,
+		})
+	}
+	outs, err := runCampaigns(jobs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
 	var csvs []*report.CSV
 	var series []Fig12Series
-	for _, idx := range []string{"D1", "D3", "D4", "D5"} {
-		tb, err := testbed.New(idx, deviceSeed(idx))
-		if err != nil {
-			return nil, nil, err
-		}
-		c, err := RunZCover(tb, fuzz.StrategyFull, duration, deviceSeed(idx))
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, idx := range devices {
+		c := outs[i].Campaign
 		s := Fig12Series{Index: idx}
 		csv := &report.CSV{Headers: []string{"elapsed_s", "packets", "unique", "discovery"}}
 		for _, sample := range c.Fuzz.Timeline {

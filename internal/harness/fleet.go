@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"zcover/internal/fleet"
+	"zcover/internal/testbed"
+	"zcover/internal/zcover/fuzz"
+)
+
+// FleetOutcome is one fleet campaign's result: exactly one of Campaign
+// (ZCover jobs) or Baseline (VFuzz jobs) is set.
+type FleetOutcome struct {
+	Campaign *Campaign
+	Baseline *fuzz.Result
+}
+
+// Fuzz returns the job's fuzzing result regardless of kind.
+func (o FleetOutcome) Fuzz() *fuzz.Result {
+	if o.Baseline != nil {
+		return o.Baseline
+	}
+	if o.Campaign != nil {
+		return o.Campaign.Fuzz
+	}
+	return nil
+}
+
+// RunFleetJob is the canonical fleet.Runner: it executes one job spec
+// against the worker's private testbed, streaming live metrics into the
+// pool. All experiment drivers schedule through it.
+func RunFleetJob(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (FleetOutcome, error) {
+	onFinding := func(fuzz.Finding) { obs.Finding() }
+	if job.Baseline {
+		res, err := RunVFuzzObserved(tb, job.Budget, job.Seed, onFinding)
+		if err != nil {
+			return FleetOutcome{}, err
+		}
+		obs.Packets(res.PacketsSent)
+		obs.SimTime(res.Elapsed)
+		return FleetOutcome{Baseline: res}, nil
+	}
+	c, err := RunZCoverObserved(tb, job.Strategy, job.Budget, job.Seed, onFinding)
+	if err != nil {
+		return FleetOutcome{}, err
+	}
+	obs.Packets(c.Fuzz.PacketsSent)
+	obs.SimTime(c.Fuzz.Elapsed)
+	return FleetOutcome{Campaign: c}, nil
+}
+
+// runCampaigns executes the jobs through the fleet with all-or-nothing
+// semantics: every table needs every row, so the first failed job's error
+// (in job order, deterministically) aborts the driver. Successful outcomes
+// come back index-aligned with jobs.
+func runCampaigns(jobs []fleet.Job, cfg fleet.Config) ([]FleetOutcome, error) {
+	results := fleet.Run(jobs, RunFleetJob, cfg)
+	if err := fleet.FirstError(results); err != nil {
+		return nil, err
+	}
+	outs := make([]FleetOutcome, len(results))
+	for i := range results {
+		outs[i] = results[i].Value
+	}
+	return outs, nil
+}

@@ -4,8 +4,8 @@ import (
 	"strconv"
 	"time"
 
+	"zcover/internal/fleet"
 	"zcover/internal/report"
-	"zcover/internal/testbed"
 	"zcover/internal/zcover/fuzz"
 )
 
@@ -26,6 +26,12 @@ type RemediationRow struct {
 // and show that only the implementation bugs — which need vendor SDK
 // fixes, not spec changes — survive.
 func Remediation(devices []string, duration time.Duration) (*report.Table, []RemediationRow, error) {
+	return RemediationFleet(devices, duration, fleet.Config{})
+}
+
+// RemediationFleet is Remediation with the stock and patched campaigns
+// scheduled across a fleet worker pool.
+func RemediationFleet(devices []string, duration time.Duration, cfg fleet.Config) (*report.Table, []RemediationRow, error) {
 	if len(devices) == 0 {
 		devices = []string{"D1", "D6"}
 	}
@@ -33,32 +39,29 @@ func Remediation(devices []string, duration time.Duration) (*report.Table, []Rem
 		duration = 24 * time.Hour
 	}
 	out := &report.Table{
-		Title: "Remediation (§V-B): full campaign before vs after the specification update",
+		Title:   "Remediation (§V-B): full campaign before vs after the specification update",
 		Headers: []string{"ID", "#Vul stock firmware", "#Vul patched firmware", "Surviving (implementation bugs)"},
 		Notes: []string{
 			"The patch closes every specification-rooted bug; host-program",
 			"implementation bugs (06, 13) need vendor SDK fixes and remain.",
 		},
 	}
-	var rows []RemediationRow
+	var jobs []fleet.Job
 	for _, idx := range devices {
 		seed := deviceSeed(idx)
-		stock, err := testbed.New(idx, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		before, err := RunZCover(stock, fuzz.StrategyFull, duration, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		patched, err := testbed.NewPatched(idx, seed)
-		if err != nil {
-			return nil, nil, err
-		}
-		after, err := RunZCover(patched, fuzz.StrategyFull, duration, seed)
-		if err != nil {
-			return nil, nil, err
-		}
+		jobs = append(jobs,
+			fleet.Job{Name: "remediation/" + idx + "/stock", Device: idx,
+				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration},
+			fleet.Job{Name: "remediation/" + idx + "/patched", Device: idx, Patched: true,
+				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration})
+	}
+	outs, err := runCampaigns(jobs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []RemediationRow
+	for i, idx := range devices {
+		before, after := outs[2*i].Campaign, outs[2*i+1].Campaign
 		row := RemediationRow{Index: idx, Before: len(before.Fuzz.Findings), After: len(after.Fuzz.Findings)}
 		for _, f := range after.Fuzz.Findings {
 			row.Remaining = append(row.Remaining, f.Signature)

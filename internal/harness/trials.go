@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"time"
 
-	"zcover/internal/testbed"
+	"zcover/internal/fleet"
 	"zcover/internal/zcover/fuzz"
 )
 
@@ -25,28 +25,37 @@ type TrialSummary struct {
 }
 
 // RunTrials executes n full-ZCover campaigns against the same device,
-// resetting the testbed between trials (as re-flashing/rebooting the
-// device does in the paper's methodology), with per-trial seeds.
+// each on a freshly built testbed (as re-flashing/rebooting the device
+// does in the paper's methodology), with per-trial seeds.
 func RunTrials(index string, n int, duration time.Duration, baseSeed int64) (TrialSummary, error) {
+	return RunTrialsFleet(index, n, duration, baseSeed, fleet.Config{})
+}
+
+// RunTrialsFleet is RunTrials with the trials scheduled across a fleet
+// worker pool. Trial seeds are fixed up front, so the summary is identical
+// for any worker count.
+func RunTrialsFleet(index string, n int, duration time.Duration, baseSeed int64, cfg fleet.Config) (TrialSummary, error) {
 	if n <= 0 {
 		return TrialSummary{}, fmt.Errorf("harness: trials must be positive, got %d", n)
 	}
+	var jobs []fleet.Job
+	for trial := 0; trial < n; trial++ {
+		jobs = append(jobs, fleet.Job{
+			Name: fmt.Sprintf("trials/%s/%d", index, trial+1), Device: index,
+			Strategy: fuzz.StrategyFull, Seed: baseSeed + int64(trial), Budget: duration,
+		})
+	}
+	outs, err := runCampaigns(jobs, cfg)
+	if err != nil {
+		return TrialSummary{}, err
+	}
+
 	sum := TrialSummary{Device: index, Trials: n, Stable: true}
 	union := make(map[string]bool)
 	var first map[string]bool
-
-	for trial := 0; trial < n; trial++ {
-		seed := baseSeed + int64(trial)
-		tb, err := testbed.New(index, seed)
-		if err != nil {
-			return TrialSummary{}, err
-		}
-		c, err := RunZCover(tb, fuzz.StrategyFull, duration, seed)
-		if err != nil {
-			return TrialSummary{}, fmt.Errorf("harness: trial %d: %w", trial+1, err)
-		}
-		found := make(map[string]bool, len(c.Fuzz.Findings))
-		for _, f := range c.Fuzz.Findings {
+	for _, o := range outs {
+		found := make(map[string]bool, len(o.Fuzz().Findings))
+		for _, f := range o.Fuzz().Findings {
 			found[f.Signature] = true
 			union[f.Signature] = true
 		}

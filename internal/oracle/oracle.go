@@ -118,29 +118,72 @@ func (e Event) String() string {
 type Bus struct {
 	mu     sync.Mutex
 	events []Event
-	subs   []func(Event)
+	subs   []subscriber
+	nextID uint64
+}
+
+// subscriber pairs a callback with its handle identity.
+type subscriber struct {
+	id uint64
+	fn func(Event)
+}
+
+// Subscription is the handle returned by Subscribe; Unsubscribe detaches
+// the callback. Campaign engines must unsubscribe when their run ends so
+// reusing a testbed (sequential trials, fleet retries) cannot leak events
+// into a stale observer.
+type Subscription struct {
+	bus *Bus
+	id  uint64
+}
+
+// Unsubscribe removes the subscription's callback from the bus. It is
+// idempotent and safe on a nil subscription.
+func (s *Subscription) Unsubscribe() {
+	if s == nil || s.bus == nil {
+		return
+	}
+	b := s.bus
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, sub := range b.subs {
+		if sub.id == s.id {
+			b.subs = append(b.subs[:i], b.subs[i+1:]...)
+			break
+		}
+	}
+	s.bus = nil
 }
 
 // Subscribe registers a callback invoked synchronously for every event
-// emitted after the call.
-func (b *Bus) Subscribe(fn func(Event)) {
+// emitted after the call, and returns the handle that detaches it.
+func (b *Bus) Subscribe(fn func(Event)) *Subscription {
 	if fn == nil {
 		panic("oracle: Subscribe called with nil callback")
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.subs = append(b.subs, fn)
+	b.nextID++
+	b.subs = append(b.subs, subscriber{id: b.nextID, fn: fn})
+	return &Subscription{bus: b, id: b.nextID}
+}
+
+// Subscribers reports how many callbacks are currently attached.
+func (b *Bus) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
 }
 
 // Emit records an event and notifies subscribers.
 func (b *Bus) Emit(e Event) {
 	b.mu.Lock()
 	b.events = append(b.events, e)
-	subs := make([]func(Event), len(b.subs))
+	subs := make([]subscriber, len(b.subs))
 	copy(subs, b.subs)
 	b.mu.Unlock()
-	for _, fn := range subs {
-		fn(e)
+	for _, sub := range subs {
+		sub.fn(e)
 	}
 }
 

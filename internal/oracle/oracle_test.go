@@ -42,6 +42,51 @@ func TestBusSubscribeNilPanics(t *testing.T) {
 	(&Bus{}).Subscribe(nil)
 }
 
+func TestUnsubscribeStopsDelivery(t *testing.T) {
+	var b Bus
+	var first, second []Kind
+	s1 := b.Subscribe(func(e Event) { first = append(first, e.Kind) })
+	s2 := b.Subscribe(func(e Event) { second = append(second, e.Kind) })
+	if b.Subscribers() != 2 {
+		t.Fatalf("Subscribers = %d, want 2", b.Subscribers())
+	}
+	b.Emit(Event{Kind: HostCrash})
+	s1.Unsubscribe()
+	b.Emit(Event{Kind: ServiceHang})
+	if len(first) != 1 || first[0] != HostCrash {
+		t.Errorf("unsubscribed callback saw %v", first)
+	}
+	if len(second) != 2 {
+		t.Errorf("remaining subscriber saw %v, want both events", second)
+	}
+	if b.Subscribers() != 1 {
+		t.Errorf("Subscribers = %d after unsubscribe, want 1", b.Subscribers())
+	}
+	s2.Unsubscribe()
+	if b.Subscribers() != 0 {
+		t.Errorf("Subscribers = %d, want 0", b.Subscribers())
+	}
+}
+
+func TestUnsubscribeIdempotentAndNilSafe(t *testing.T) {
+	var b Bus
+	n := 0
+	s := b.Subscribe(func(Event) { n++ })
+	other := b.Subscribe(func(Event) {})
+	s.Unsubscribe()
+	s.Unsubscribe() // second call is a no-op, must not drop `other`
+	var nilSub *Subscription
+	nilSub.Unsubscribe()
+	if b.Subscribers() != 1 {
+		t.Fatalf("Subscribers = %d, want 1 (double-unsubscribe removed a stranger)", b.Subscribers())
+	}
+	b.Emit(Event{Kind: AppDoS})
+	if n != 0 {
+		t.Fatal("unsubscribed callback still delivered")
+	}
+	_ = other
+}
+
 func TestSignatureDistinguishesTableIIIBugs(t *testing.T) {
 	// Bugs 01-04 and 12 share CMDCL 0x01 / CMD 0x0D but differ by effect;
 	// bugs 08 and 11 share kind and class but differ by command.

@@ -40,6 +40,9 @@ type Config struct {
 	PingRetry      time.Duration
 	// SamplePeriod spaces timeline samples.
 	SamplePeriod time.Duration
+	// OnFinding, if set, is invoked synchronously for each new unique
+	// finding — live progress for interactive callers.
+	OnFinding func(fuzz.Finding)
 }
 
 func (c Config) withDefaults() Config {
@@ -120,13 +123,17 @@ func (e *Engine) Run() *fuzz.Result {
 				continue
 			}
 			e.seen[sig] = true
-			res.Findings = append(res.Findings, fuzz.Finding{
+			finding := fuzz.Finding{
 				Signature:      sig,
 				Event:          ev,
 				TriggerPayload: append([]byte{}, raw...),
 				Packets:        res.PacketsSent,
 				Elapsed:        elapsed(),
-			})
+			}
+			res.Findings = append(res.Findings, finding)
+			if e.cfg.OnFinding != nil {
+				e.cfg.OnFinding(finding)
+			}
 			res.Timeline = append(res.Timeline, fuzz.Sample{
 				Elapsed: elapsed(), Packets: res.PacketsSent, Unique: len(res.Findings),
 			})

@@ -1,0 +1,33 @@
+#!/bin/sh
+# verify.sh — the tier-1 gate: formatting, vet, build, and the race-enabled
+# short test suite. Run before every commit; `make verify` wraps it.
+#
+#   ./scripts/verify.sh          # short suite (fast)
+#   ./scripts/verify.sh -full    # include the 24h-budget campaign tests
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short="-short"
+if [ "${1:-}" = "-full" ]; then
+    short=""
+fi
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race $short =="
+go test -race $short ./...
+
+echo "verify: OK"

@@ -32,6 +32,7 @@ package zcover
 import (
 	"time"
 
+	"zcover/internal/fleet"
 	"zcover/internal/harness"
 	"zcover/internal/oracle"
 	"zcover/internal/report"
@@ -65,6 +66,13 @@ type (
 	Table = report.Table
 	// CSV is a rendered figure series.
 	CSV = report.CSV
+	// FleetConfig tunes the parallel campaign scheduler (worker count,
+	// retry limit, progress callback).
+	FleetConfig = fleet.Config
+	// FleetProgress is an atomic snapshot of a running campaign fleet.
+	FleetProgress = fleet.Progress
+	// FleetJob is one self-contained campaign spec for the scheduler.
+	FleetJob = fleet.Job
 )
 
 // Fuzzing strategies (the three configurations of the paper's ablation).
@@ -134,4 +142,24 @@ var (
 	Table6 = harness.Table6
 	// Remediation validates the §V-B specification-update mitigation.
 	Remediation = harness.Remediation
+)
+
+// Fleet-scheduled experiment drivers: identical output to the plain
+// drivers for any worker count (each campaign is independently seeded on
+// its own testbed), with the scheduling knobs exposed.
+var (
+	// Table3Fleet reruns the zero-day discovery campaign across a pool.
+	Table3Fleet = harness.Table3Fleet
+	// Table4Fleet reruns fingerprinting and discovery across a pool.
+	Table4Fleet = harness.Table4Fleet
+	// Table5Fleet reruns the VFuzz comparison across a pool.
+	Table5Fleet = harness.Table5Fleet
+	// Table6Fleet reruns the ablation study across a pool.
+	Table6Fleet = harness.Table6Fleet
+	// Fig12Fleet regenerates the detection timelines across a pool.
+	Fig12Fleet = harness.Fig12Fleet
+	// RemediationFleet validates the §V-B mitigation across a pool.
+	RemediationFleet = harness.RemediationFleet
+	// RunTrialsFleet repeats full campaigns against one device across a pool.
+	RunTrialsFleet = harness.RunTrialsFleet
 )
