@@ -16,5 +16,7 @@ build:
 test:
 	go test ./...
 
+# Runs the fleet benchmarks with -benchmem and writes BENCH_fleet.json
+# (name, ns/op, B/op, allocs/op, sim-rate per worker-count variant).
 bench:
-	go test ./internal/harness -run XXX -bench BenchmarkFleetParallelism -benchtime 3x
+	./scripts/bench.sh

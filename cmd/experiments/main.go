@@ -8,6 +8,8 @@
 //	experiments -fuzz 2h        # shrink the 24 h campaigns (faster)
 //	experiments -workers 8      # parallel campaigns (0 = GOMAXPROCS)
 //	experiments -progress       # live fleet ticker on stderr
+//	experiments -metrics-out metrics.json -trace-out spans.jsonl
+//	experiments -flight-recorder 16 -pprof localhost:6060
 //
 // Campaign experiments (table3/4/5/6, fig12, trials, remediation) are
 // scheduled across the internal/fleet worker pool: each campaign runs on
@@ -20,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
@@ -30,6 +34,7 @@ import (
 	"zcover/internal/fleet"
 	"zcover/internal/harness"
 	"zcover/internal/report"
+	"zcover/internal/telemetry"
 )
 
 func main() {
@@ -84,10 +89,40 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "parallel campaign workers; 1 = sequential, 0 = GOMAXPROCS")
 	attempts := fs.Int("attempts", 0, "attempts per campaign before it is reported failed (0 = fleet default)")
 	progress := fs.Bool("progress", false, "render a live fleet progress ticker on stderr")
+	metricsOut := fs.String("metrics-out", "", "write final metrics to this file (.json = JSON document, else Prometheus text)")
+	traceOut := fs.String("trace-out", "", "write fleet job spans to this file as JSON lines")
+	flightDepth := fs.Int("flight-recorder", 0, "attach a packet flight recorder of this depth to every campaign testbed (0 = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	fleetCfg := fleet.Config{Workers: *workers, MaxAttempts: *attempts}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+	// Fleet counters publish into the process registry; the drivers run one
+	// fleet at a time, so per-fleet Progress deltas stay exact while the
+	// registry accumulates process totals for -metrics-out.
+	fleetCfg := fleet.Config{Workers: *workers, MaxAttempts: *attempts, Telemetry: telemetry.Default()}
+	harness.SetFleetRecorderDepth(*flightDepth)
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		fleetCfg.Tracer = telemetry.NewTracer(tf, nil)
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := telemetry.Default().WriteFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 	tick := &ticker{}
 	if *progress {
 		fleetCfg.OnProgress = tick.update

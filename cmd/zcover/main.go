@@ -13,11 +13,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"zcover"
 	"zcover/internal/report"
+	"zcover/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +37,19 @@ func run(args []string) error {
 	duration := fs.Duration("duration", time.Hour, "fuzzing budget in simulated time")
 	seed := fs.Int64("seed", 1, "deterministic campaign seed")
 	verbose := fs.Bool("v", false, "stream findings live as they are discovered")
+	metricsOut := fs.String("metrics-out", "", "write final metrics to this file (.json = JSON document, else Prometheus text)")
+	traceOut := fs.String("trace-out", "", "write phase spans to this file as JSON lines")
+	flightDepth := fs.Int("flight-recorder", 0, "attach a packet flight recorder of this depth; findings carry frame traces (0 = off)")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "zcover: pprof:", err)
+			}
+		}()
 	}
 
 	var strat zcover.Strategy
@@ -58,15 +72,28 @@ func run(args []string) error {
 		zcover.Version, *target, tb.Controller.Profile().Brand,
 		tb.Controller.Profile().Model, *strategy, *duration)
 
-	var onFinding func(zcover.Finding)
+	opts := zcover.Options{FlightRecorderDepth: *flightDepth}
 	if *verbose {
-		onFinding = func(f zcover.Finding) {
+		opts.OnFinding = func(f zcover.Finding) {
 			fmt.Printf("  [%8s] pkt %-6d %s\n", f.Elapsed.Round(time.Second), f.Packets, f.Signature)
 		}
 	}
-	c, err := zcover.RunObserved(tb, strat, *duration, *seed, onFinding)
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		opts.Tracer = telemetry.NewTracer(tf, nil)
+	}
+	c, err := zcover.RunWith(tb, strat, *duration, *seed, opts)
 	if err != nil {
 		return err
+	}
+	if *metricsOut != "" {
+		if err := telemetry.Default().WriteFile(*metricsOut); err != nil {
+			return err
+		}
 	}
 
 	fmt.Println("Phase 1 — known properties fingerprinting")

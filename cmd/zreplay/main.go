@@ -1,13 +1,16 @@
 // Command zreplay works with ZCover bug logs: it can run a campaign and
 // save its findings as a JSON-lines log, replay a saved log as
-// single-packet proof-of-concept exploits against fresh devices, or
-// replay the built-in catalogue of the paper's fifteen PoCs.
+// single-packet proof-of-concept exploits against fresh devices, replay
+// the built-in catalogue of the paper's fifteen PoCs, or summarise a span
+// trace written by -trace-out.
 //
 // Usage:
 //
 //	zreplay -hunt -target D1 -duration 1h -out bugs.jsonl   # fuzz + save
+//	zreplay -hunt -flight-recorder 16 -out bugs.jsonl        # + frame traces
 //	zreplay -log bugs.jsonl                                  # replay a log
 //	zreplay -catalog                                         # replay Table III PoCs
+//	zreplay -trace spans.jsonl                               # summarise a trace
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"zcover/internal/cmdclass"
 	"zcover/internal/decode"
 	"zcover/internal/harness"
+	"zcover/internal/telemetry"
 	"zcover/internal/zcover/fuzz"
 	"zcover/internal/zcover/minimize"
 )
@@ -42,13 +46,17 @@ func run(args []string) error {
 	catalog := fs.Bool("catalog", false, "replay the paper's Table III PoC catalogue")
 	minimise := fs.Bool("minimize", false, "minimise each trigger payload before replaying")
 	seed := fs.Int64("seed", 1, "deterministic seed")
+	flightDepth := fs.Int("flight-recorder", 0, "with -hunt: attach a packet flight recorder of this depth so findings carry frame traces (0 = off)")
+	tracePath := fs.String("trace", "", "span trace file (from -trace-out) to summarise")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	switch {
 	case *hunt:
-		return runHunt(*target, *duration, *out, *seed)
+		return runHunt(*target, *duration, *out, *seed, *flightDepth)
+	case *tracePath != "":
+		return summariseTrace(*tracePath)
 	case *logPath != "":
 		f, err := os.Open(*logPath)
 		if err != nil {
@@ -79,13 +87,16 @@ func run(args []string) error {
 	}
 }
 
-// runHunt fuzzes and saves the bug log.
-func runHunt(target string, duration time.Duration, out string, seed int64) error {
+// runHunt fuzzes and saves the bug log, with frame traces when a flight
+// recorder is attached.
+func runHunt(target string, duration time.Duration, out string, seed int64, flightDepth int) error {
 	tb, err := zcover.NewTestbed(target, seed)
 	if err != nil {
 		return err
 	}
-	c, err := zcover.Run(tb, zcover.StrategyFull, duration, seed)
+	c, err := zcover.RunWith(tb, zcover.StrategyFull, duration, seed, zcover.Options{
+		FlightRecorderDepth: flightDepth,
+	})
 	if err != nil {
 		return err
 	}
@@ -97,8 +108,42 @@ func runHunt(target string, duration time.Duration, out string, seed int64) erro
 	if err := fuzz.WriteLog(f, c.Fuzz); err != nil {
 		return err
 	}
+	traced := 0
+	for _, finding := range c.Fuzz.Findings {
+		if len(finding.Trace) > 0 {
+			traced++
+		}
+	}
 	fmt.Printf("campaign on %s: %d unique findings in %s; bug log written to %s\n",
 		target, len(c.Fuzz.Findings), c.Fuzz.Elapsed.Round(time.Second), out)
+	if flightDepth > 0 {
+		fmt.Printf("flight recorder: %d/%d findings carry frame traces (depth %d)\n",
+			traced, len(c.Fuzz.Findings), flightDepth)
+	}
+	return nil
+}
+
+// summariseTrace prints the spans of a -trace-out file in order.
+func summariseTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	for _, ev := range events {
+		attrs := ""
+		for _, k := range []string{"device", "strategy", "outcome", "findings", "packets", "attempts"} {
+			if v, ok := ev.Attrs[k]; ok {
+				attrs += fmt.Sprintf(" %s=%s", k, v)
+			}
+		}
+		fmt.Printf("%-8s %-24s %12.3fs%s\n", ev.Kind, ev.Name, ev.DurSec, attrs)
+	}
+	fmt.Printf("\n%d spans\n", len(events))
 	return nil
 }
 
@@ -141,8 +186,12 @@ func replay(entries []fuzz.LogEntry, seed int64) error {
 			reproduced++
 		}
 		payload, _ := r.Entry.TriggerPayload()
+		detail := r.Entry.Detail
+		if n := len(r.Entry.Trace); n > 0 {
+			detail += fmt.Sprintf(" [%d-frame trace]", n)
+		}
 		fmt.Printf("%-14s  %-32s  %-34s  %s\n",
-			status, r.Entry.Signature, decode.Payload(reg, payload), r.Entry.Detail)
+			status, r.Entry.Signature, decode.Payload(reg, payload), detail)
 	}
 	fmt.Printf("\n%d/%d proof-of-concept exploits reproduced on fresh devices\n",
 		reproduced, len(results))

@@ -28,9 +28,11 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"strconv"
 	"sync"
 	"time"
 
+	"zcover/internal/telemetry"
 	"zcover/internal/testbed"
 	"zcover/internal/zcover/fuzz"
 )
@@ -101,6 +103,16 @@ type Config struct {
 	// change (job start/finish, retry, each new finding). Calls are
 	// serialized by the fleet; the callback must not block for long.
 	OnProgress func(Progress)
+	// Telemetry is the metrics registry the fleet publishes its live state
+	// to (the fleet_* gauges). Nil gives the fleet a private registry;
+	// pass telemetry.Default() to fold fleet state into the process-wide
+	// export. Progress snapshots stay exact either way — each fleet tracks
+	// deltas from the registry values it observed at construction.
+	Telemetry *telemetry.Registry
+	// Tracer, if set, emits one JSONL span per job (wall-clock times, with
+	// device/strategy/attempt attributes) — the fleet half of the trace
+	// stream the pipeline phases also write to.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -164,8 +176,7 @@ func New[T any](jobs []Job, runner Runner[T], cfg Config) *Fleet[T] {
 		panic("fleet: nil runner")
 	}
 	f := &Fleet[T]{jobs: jobs, runner: runner, cfg: cfg.withDefaults()}
-	f.c.total = len(jobs)
-	f.c.queued.Store(int64(len(jobs)))
+	f.c.bind(f.cfg.Telemetry, len(jobs))
 	return f
 }
 
@@ -235,6 +246,9 @@ func (f *Fleet[T]) execute(job Job) Result[T] {
 	f.notify()
 
 	res := Result[T]{Job: job}
+	span := f.cfg.Tracer.Span(job.Label(), "job", map[string]string{
+		"device": job.Device, "strategy": string(job.Strategy),
+	})
 	wallStart := time.Now()
 	for attempt := 1; attempt <= f.cfg.MaxAttempts; attempt++ {
 		res.Attempts = attempt
@@ -256,6 +270,13 @@ func (f *Fleet[T]) execute(job Job) Result[T] {
 		}
 	}
 	res.Wall = time.Since(wallStart)
+	span.SetAttr("attempts", strconv.Itoa(res.Attempts))
+	if res.Err != nil {
+		span.SetAttr("outcome", "failed")
+	} else {
+		span.SetAttr("outcome", "done")
+	}
+	_ = span.End()
 
 	f.c.running.Add(-1)
 	if res.Err != nil {

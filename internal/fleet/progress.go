@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"zcover/internal/telemetry"
 )
 
 // Progress is an atomic snapshot of a running fleet. All counters are
@@ -49,13 +51,64 @@ func (p Progress) String() string {
 		p.SimTime.Round(time.Second), p.Wall.Round(time.Millisecond), p.SimRate())
 }
 
-// counters is the fleet's shared atomic state behind Progress snapshots.
+// Telemetry gauge names the fleet publishes its live state under. Fleet
+// state is bidirectional (queues drain, failed attempts roll back), so
+// every instrument is a gauge, not a counter.
+const (
+	MetricQueued   = "fleet_jobs_queued"
+	MetricRunning  = "fleet_jobs_running"
+	MetricDone     = "fleet_jobs_done"
+	MetricFailed   = "fleet_jobs_failed"
+	MetricRetried  = "fleet_jobs_retried"
+	MetricFindings = "fleet_findings"
+	MetricPackets  = "fleet_packets"
+	MetricSimNanos = "fleet_sim_nanos"
+)
+
+// counters is the fleet's shared live state behind Progress snapshots. The
+// telemetry registry is the single source of truth: each field is a view
+// over a named gauge. Because a shared registry accumulates across
+// sequential fleets (cmd/experiments points every driver at the process
+// default), each fleet captures the gauges' values at construction and
+// snapshots report deltas from that base — per-fleet Progress stays exact
+// while the registry keeps process-wide running totals.
 type counters struct {
 	total     int
 	startWall atomic.Int64 // unix nanos; 0 until Run starts
 
-	queued, running, done, failed, retried atomic.Int64
-	findings, packets, simNanos            atomic.Int64
+	queued, running, done, failed, retried *telemetry.Gauge
+	findings, packets, simNanos            *telemetry.Gauge
+
+	baseQueued, baseRunning, baseDone, baseFailed, baseRetried int64
+	baseFindings, basePackets, baseSimNanos                    int64
+}
+
+// bind points the counter views at reg (nil means a private registry) and
+// publishes the initial queue depth.
+func (c *counters) bind(reg *telemetry.Registry, total int) {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	c.total = total
+	c.queued = reg.Gauge(MetricQueued)
+	c.running = reg.Gauge(MetricRunning)
+	c.done = reg.Gauge(MetricDone)
+	c.failed = reg.Gauge(MetricFailed)
+	c.retried = reg.Gauge(MetricRetried)
+	c.findings = reg.Gauge(MetricFindings)
+	c.packets = reg.Gauge(MetricPackets)
+	c.simNanos = reg.Gauge(MetricSimNanos)
+
+	c.baseQueued = c.queued.Load()
+	c.baseRunning = c.running.Load()
+	c.baseDone = c.done.Load()
+	c.baseFailed = c.failed.Load()
+	c.baseRetried = c.retried.Load()
+	c.baseFindings = c.findings.Load()
+	c.basePackets = c.packets.Load()
+	c.baseSimNanos = c.simNanos.Load()
+
+	c.queued.Add(int64(total))
 }
 
 func (c *counters) start(t time.Time) {
@@ -65,14 +118,14 @@ func (c *counters) start(t time.Time) {
 func (c *counters) snapshot() Progress {
 	p := Progress{
 		Total:    c.total,
-		Queued:   int(c.queued.Load()),
-		Running:  int(c.running.Load()),
-		Done:     int(c.done.Load()),
-		Failed:   int(c.failed.Load()),
-		Retried:  int(c.retried.Load()),
-		Findings: int(c.findings.Load()),
-		Packets:  c.packets.Load(),
-		SimTime:  time.Duration(c.simNanos.Load()),
+		Queued:   int(c.queued.Load() - c.baseQueued),
+		Running:  int(c.running.Load() - c.baseRunning),
+		Done:     int(c.done.Load() - c.baseDone),
+		Failed:   int(c.failed.Load() - c.baseFailed),
+		Retried:  int(c.retried.Load() - c.baseRetried),
+		Findings: int(c.findings.Load() - c.baseFindings),
+		Packets:  c.packets.Load() - c.basePackets,
+		SimTime:  time.Duration(c.simNanos.Load() - c.baseSimNanos),
 	}
 	if s := c.startWall.Load(); s != 0 {
 		p.Wall = time.Since(time.Unix(0, s))

@@ -1,0 +1,129 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"zcover/internal/telemetry"
+	"zcover/internal/testbed"
+)
+
+// TestSimRateEdgeCases pins the division guards: zero or negative wall
+// time must not produce Inf/NaN.
+func TestSimRateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Progress
+		want float64
+	}{
+		{"zero wall", Progress{SimTime: time.Hour}, 0},
+		{"negative wall", Progress{SimTime: time.Hour, Wall: -time.Second}, 0},
+		{"zero sim", Progress{Wall: time.Second}, 0},
+		{"normal", Progress{SimTime: 10 * time.Second, Wall: 2 * time.Second}, 5},
+	}
+	for _, tc := range cases {
+		if got := tc.p.SimRate(); got != tc.want {
+			t.Errorf("%s: SimRate = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestProgressStringEdgeCases renders the ticker line for degenerate
+// snapshots: the zero value (zero total, zero wall) must stay finite and
+// well-formed.
+func TestProgressStringEdgeCases(t *testing.T) {
+	zero := Progress{}
+	s := zero.String()
+	if strings.Contains(s, "NaN") || strings.Contains(s, "Inf") {
+		t.Errorf("zero Progress renders %q", s)
+	}
+	if !strings.Contains(s, "0/0 done") || !strings.Contains(s, "(0.0x)") {
+		t.Errorf("zero Progress renders %q", s)
+	}
+	if !zero.Finished() {
+		t.Error("zero-total Progress should report Finished (vacuously drained)")
+	}
+
+	busy := Progress{Total: 4, Done: 1, Running: 2, Queued: 1,
+		Findings: 3, Packets: 99, SimTime: time.Minute, Wall: time.Second}
+	s = busy.String()
+	for _, want := range []string{"1/4 done", "2 running", "1 queued", "3 findings", "99 pkts", "(60.0x)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Progress renders %q, missing %q", s, want)
+		}
+	}
+}
+
+// TestCountersAreRegistryViews pins the tentpole rewiring: fleet state
+// lives in the telemetry registry, and a fleet sharing a registry with a
+// previous fleet still reports exact per-fleet Progress (delta from the
+// base it observed at construction).
+func TestCountersAreRegistryViews(t *testing.T) {
+	reg := telemetry.NewRegistry()
+
+	var c1 counters
+	c1.bind(reg, 3)
+	c1.queued.Add(-1)
+	c1.done.Add(1)
+	c1.packets.Add(500)
+	c1.findings.Add(2)
+
+	if got := reg.Gauge(MetricDone).Load(); got != 1 {
+		t.Fatalf("registry %s = %d, want 1", MetricDone, got)
+	}
+	p := c1.snapshot()
+	if p.Done != 1 || p.Queued != 2 || p.Packets != 500 || p.Findings != 2 {
+		t.Fatalf("fleet1 snapshot = %+v", p)
+	}
+
+	// A second fleet over the same registry: process totals accumulate,
+	// per-fleet Progress starts from zero.
+	var c2 counters
+	c2.bind(reg, 5)
+	p2 := c2.snapshot()
+	if p2.Done != 0 || p2.Queued != 5 || p2.Packets != 0 || p2.Findings != 0 {
+		t.Fatalf("fleet2 initial snapshot = %+v", p2)
+	}
+	c2.done.Add(1)
+	if got := reg.Gauge(MetricDone).Load(); got != 2 {
+		t.Fatalf("registry %s after second fleet = %d, want 2", MetricDone, got)
+	}
+	if p := c1.snapshot(); p.Done != 2 {
+		// Shared-registry caveat: concurrent fleets bleed into each other's
+		// deltas — documented, and why the default is a private registry.
+		t.Logf("note: fleet1 sees shared-registry drift: %+v", p)
+	}
+}
+
+// TestRunPublishesToSharedRegistry runs a real (trivial-runner) fleet with
+// Config.Telemetry and checks the registry holds the end state.
+func TestRunPublishesToSharedRegistry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	jobs := []Job{{Name: "a", Device: "D1"}, {Name: "b", Device: "D1"}}
+	runner := func(_ *testbed.Testbed, job Job, obs *Observer) (string, error) {
+		obs.Packets(10)
+		obs.SimTime(time.Second)
+		obs.Finding()
+		return job.Name, nil
+	}
+	results := Run(jobs, runner, Config{Workers: 2, Telemetry: reg})
+	if err := FirstError(results); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge(MetricDone).Load(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricDone, got)
+	}
+	if got := reg.Gauge(MetricPackets).Load(); got != 20 {
+		t.Errorf("%s = %d, want 20", MetricPackets, got)
+	}
+	if got := reg.Gauge(MetricFindings).Load(); got != 2 {
+		t.Errorf("%s = %d, want 2", MetricFindings, got)
+	}
+	if got := reg.Gauge(MetricRunning).Load(); got != 0 {
+		t.Errorf("%s = %d, want 0 after drain", MetricRunning, got)
+	}
+	if got := reg.Gauge(MetricSimNanos).Load(); got != int64(2*time.Second) {
+		t.Errorf("%s = %d, want %d", MetricSimNanos, got, int64(2*time.Second))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"zcover/internal/cmdclass"
+	"zcover/internal/telemetry"
 	"zcover/internal/testbed"
 	"zcover/internal/vfuzz"
 	"zcover/internal/zcover/discover"
@@ -22,6 +23,29 @@ import (
 // PassiveScanWindow is how long campaigns sniff before interrogating the
 // target; the testbed schedules periodic slave reports inside it.
 const PassiveScanWindow = 2 * time.Minute
+
+// Options attaches optional observability to a campaign run. The zero value
+// runs the campaign exactly as before: no callback, no recorder, no trace.
+// Every attachment is a pure observer — enabling them cannot change what the
+// campaign finds, only what it records along the way.
+type Options struct {
+	// OnFinding is invoked live for each unique finding.
+	OnFinding func(fuzz.Finding)
+	// FlightRecorderDepth, when positive, attaches a packet flight recorder
+	// of that depth to the testbed medium for the duration of the run, and
+	// each finding carries a snapshot of the last frames on the air at the
+	// moment of discovery (Finding.Trace).
+	FlightRecorderDepth int
+	// Tracer, when non-nil, receives one "phase" span per pipeline stage
+	// (scan, discover, fuzz), timestamped on the testbed's simulated clock
+	// so traces are deterministic.
+	Tracer *telemetry.Tracer
+}
+
+// phaseSpan opens a span on the simulated timeline; no-op without a tracer.
+func (o Options) phaseSpan(tb *testbed.Testbed, name string, attrs map[string]string) *telemetry.Span {
+	return o.Tracer.SpanAt(name, "phase", attrs, tb.Clock.Now())
+}
 
 // Campaign is one complete ZCover run against one testbed.
 type Campaign struct {
@@ -37,24 +61,42 @@ type Campaign struct {
 // RunZCover executes the full ZCover pipeline against the testbed's
 // controller with the given strategy and fuzzing budget.
 func RunZCover(tb *testbed.Testbed, strategy fuzz.Strategy, duration time.Duration, seed int64) (*Campaign, error) {
-	return RunZCoverObserved(tb, strategy, duration, seed, nil)
+	return RunZCoverWith(tb, strategy, duration, seed, Options{})
 }
 
 // RunZCoverObserved is RunZCover with a live finding callback.
 func RunZCoverObserved(tb *testbed.Testbed, strategy fuzz.Strategy, duration time.Duration, seed int64, onFinding func(fuzz.Finding)) (*Campaign, error) {
+	return RunZCoverWith(tb, strategy, duration, seed, Options{OnFinding: onFinding})
+}
+
+// RunZCoverWith is RunZCover with observability attachments.
+func RunZCoverWith(tb *testbed.Testbed, strategy fuzz.Strategy, duration time.Duration, seed int64, opts Options) (*Campaign, error) {
 	reg, err := cmdclass.Load()
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	d := dongle.New(tb.Medium, tb.Region)
 
+	var recorder *telemetry.FlightRecorder
+	if opts.FlightRecorderDepth > 0 {
+		recorder = telemetry.NewFlightRecorder(opts.FlightRecorderDepth)
+		tb.Medium.SetFlightRecorder(recorder)
+		defer tb.Medium.SetFlightRecorder(nil)
+	}
+	attrs := map[string]string{"device": tb.Controller.Profile().Index, "strategy": string(strategy)}
+
 	// Phase 1: known-properties fingerprinting over live traffic.
+	span := opts.phaseSpan(tb, "scan", attrs)
 	tb.ScheduleTraffic(12, 10*time.Second)
 	fp, err := scan.FingerprintTarget(d, PassiveScanWindow, 0)
 	if err != nil {
 		return nil, fmt.Errorf("harness: fingerprinting: %w", err)
 	}
 	out := &Campaign{Fingerprint: fp}
+	span.SetAttr("nodes", fmt.Sprint(len(fp.Nodes)))
+	if err := span.EndAt(tb.Clock.Now()); err != nil {
+		return nil, err
+	}
 
 	// Phase 2: unknown-properties discovery (full strategy only — the β
 	// ablation deliberately ignores unknown classes, γ ignores both).
@@ -65,11 +107,16 @@ func RunZCoverObserved(tb *testbed.Testbed, strategy fuzz.Strategy, duration tim
 		}
 	}
 	if strategy == fuzz.StrategyFull {
+		span = opts.phaseSpan(tb, "discover", attrs)
 		out.Discovery, err = discover.Run(d, reg, fp)
 		if err != nil {
 			return nil, fmt.Errorf("harness: discovery: %w", err)
 		}
 		prioritized = out.Discovery.Prioritized
+		span.SetAttr("confirmed", fmt.Sprint(len(out.Discovery.ConfirmedCommands)))
+		if err := span.EndAt(tb.Clock.Now()); err != nil {
+			return nil, err
+		}
 	}
 
 	// Phase 3: position-sensitive mutation fuzzing.
@@ -80,9 +127,11 @@ func RunZCoverObserved(tb *testbed.Testbed, strategy fuzz.Strategy, duration tim
 		mut = mutate.New(mutate.Semantics{Controller: fp.Controller, KnownNodes: fp.Nodes}, seed)
 	}
 	queue := fuzz.BuildQueue(strategy, reg, listed, prioritized, seed)
+	span = opts.phaseSpan(tb, "fuzz", attrs)
 	engine, err := fuzz.New(d, fp, queue, mut, strategy, tb.Controller.Profile().Index, fuzz.Config{
 		Duration:  duration,
-		OnFinding: onFinding,
+		OnFinding: opts.OnFinding,
+		Recorder:  recorder,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
@@ -96,6 +145,11 @@ func RunZCoverObserved(tb *testbed.Testbed, strategy fuzz.Strategy, duration tim
 		// Discovery.
 		out.Fuzz.CommandsCovered = len(out.Discovery.ConfirmedCommands)
 	}
+	span.SetAttr("findings", fmt.Sprint(len(out.Fuzz.Findings)))
+	span.SetAttr("packets", fmt.Sprint(out.Fuzz.PacketsSent))
+	if err := span.EndAt(tb.Clock.Now()); err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -108,19 +162,42 @@ func RunVFuzz(tb *testbed.Testbed, duration time.Duration, seed int64) (*fuzz.Re
 
 // RunVFuzzObserved is RunVFuzz with a live finding callback.
 func RunVFuzzObserved(tb *testbed.Testbed, duration time.Duration, seed int64, onFinding func(fuzz.Finding)) (*fuzz.Result, error) {
+	return RunVFuzzWith(tb, duration, seed, Options{OnFinding: onFinding})
+}
+
+// RunVFuzzWith is RunVFuzz with observability attachments. The VFuzz
+// baseline has no discovery phase, so it emits only scan and fuzz spans.
+func RunVFuzzWith(tb *testbed.Testbed, duration time.Duration, seed int64, opts Options) (*fuzz.Result, error) {
 	d := dongle.New(tb.Medium, tb.Region)
+	if opts.FlightRecorderDepth > 0 {
+		recorder := telemetry.NewFlightRecorder(opts.FlightRecorderDepth)
+		tb.Medium.SetFlightRecorder(recorder)
+		defer tb.Medium.SetFlightRecorder(nil)
+	}
+	attrs := map[string]string{"device": tb.Controller.Profile().Index, "strategy": string(vfuzz.StrategyVFuzz)}
+
+	span := opts.phaseSpan(tb, "scan", attrs)
 	tb.ScheduleTraffic(12, 10*time.Second)
 	nets := scan.Passive(d, PassiveScanWindow)
 	if len(nets) == 0 {
 		return nil, fmt.Errorf("harness: vfuzz: no traffic observed")
 	}
+	if err := span.EndAt(tb.Clock.Now()); err != nil {
+		return nil, err
+	}
+
 	net := nets[0]
+	span = opts.phaseSpan(tb, "fuzz", attrs)
 	engine := vfuzz.New(d, net.Home, net.Controller, vfuzz.Config{
-		Duration: duration, Seed: seed, OnFinding: onFinding,
+		Duration: duration, Seed: seed, OnFinding: opts.OnFinding,
 	})
 	sub := tb.Bus.Subscribe(engine.Observe)
 	defer sub.Unsubscribe()
 	res := engine.Run()
 	res.Device = tb.Controller.Profile().Index
+	span.SetAttr("findings", fmt.Sprint(len(res.Findings)))
+	if err := span.EndAt(tb.Clock.Now()); err != nil {
+		return nil, err
+	}
 	return res, nil
 }

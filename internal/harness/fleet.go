@@ -1,10 +1,29 @@
 package harness
 
 import (
+	"sync/atomic"
+
 	"zcover/internal/fleet"
 	"zcover/internal/testbed"
 	"zcover/internal/zcover/fuzz"
 )
+
+// fleetRecorderDepth is the flight-recorder depth RunFleetJob attaches to
+// every campaign testbed (0 = off). Process-wide because the experiment
+// drivers own their job lists; set once from command-line flags.
+var fleetRecorderDepth atomic.Int32
+
+// SetFleetRecorderDepth makes every subsequent fleet campaign run with a
+// packet flight recorder of the given depth attached to its testbed, so
+// findings carry frame traces (Finding.Trace). Zero disables. Safe to call
+// concurrently, but intended for process start-up; campaigns already in
+// flight keep the depth they started with.
+func SetFleetRecorderDepth(depth int) {
+	if depth < 0 {
+		depth = 0
+	}
+	fleetRecorderDepth.Store(int32(depth))
+}
 
 // FleetOutcome is one fleet campaign's result: exactly one of Campaign
 // (ZCover jobs) or Baseline (VFuzz jobs) is set.
@@ -28,9 +47,12 @@ func (o FleetOutcome) Fuzz() *fuzz.Result {
 // against the worker's private testbed, streaming live metrics into the
 // pool. All experiment drivers schedule through it.
 func RunFleetJob(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (FleetOutcome, error) {
-	onFinding := func(fuzz.Finding) { obs.Finding() }
+	opts := Options{
+		OnFinding:           func(fuzz.Finding) { obs.Finding() },
+		FlightRecorderDepth: int(fleetRecorderDepth.Load()),
+	}
 	if job.Baseline {
-		res, err := RunVFuzzObserved(tb, job.Budget, job.Seed, onFinding)
+		res, err := RunVFuzzWith(tb, job.Budget, job.Seed, opts)
 		if err != nil {
 			return FleetOutcome{}, err
 		}
@@ -38,7 +60,7 @@ func RunFleetJob(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (Fleet
 		obs.SimTime(res.Elapsed)
 		return FleetOutcome{Baseline: res}, nil
 	}
-	c, err := RunZCoverObserved(tb, job.Strategy, job.Budget, job.Seed, onFinding)
+	c, err := RunZCoverWith(tb, job.Strategy, job.Budget, job.Seed, opts)
 	if err != nil {
 		return FleetOutcome{}, err
 	}

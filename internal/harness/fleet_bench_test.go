@@ -29,12 +29,22 @@ func BenchmarkFleetParallelism(b *testing.B) {
 	}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var simSeconds float64
 			for i := 0; i < b.N; i++ {
 				results := fleet.Run(jobs, RunFleetJob, fleet.Config{Workers: workers})
 				if err := fleet.FirstError(results); err != nil {
 					b.Fatal(err)
 				}
+				simSeconds = 0
+				for _, r := range results {
+					if f := r.Value.Fuzz(); f != nil {
+						simSeconds += f.Elapsed.Seconds()
+					}
+				}
 			}
+			// Simulated seconds fuzzed per wall second — the fleet's
+			// throughput figure (scripts/bench.sh exports it as sim_rate).
+			b.ReportMetric(simSeconds*float64(b.N)/b.Elapsed().Seconds(), "simsec/s")
 		})
 	}
 }

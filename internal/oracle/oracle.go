@@ -12,6 +12,15 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"zcover/internal/telemetry"
+)
+
+// Process-wide oracle metrics: every anomaly observation counts, with the
+// bounded-outage durations (Table III's finite hangs) histogrammed.
+var (
+	mEvents        = telemetry.Default().Counter("oracle_events_total")
+	mOutageSeconds = telemetry.Default().Histogram("oracle_outage_seconds", 1, 10, 60, 600, 3600)
 )
 
 // Kind classifies an observed anomaly. The kinds map one-to-one onto the
@@ -177,6 +186,10 @@ func (b *Bus) Subscribers() int {
 
 // Emit records an event and notifies subscribers.
 func (b *Bus) Emit(e Event) {
+	mEvents.Inc()
+	if e.Duration > 0 {
+		mOutageSeconds.Observe(e.Duration.Seconds())
+	}
 	b.mu.Lock()
 	b.events = append(b.events, e)
 	subs := make([]subscriber, len(b.subs))

@@ -3,6 +3,18 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+
+	"zcover/internal/telemetry"
+)
+
+// Process-wide frame-codec metrics. Decode runs on every captured frame
+// (receivers, sniffers, the dongle's classifier), so failures here are the
+// MAC-layer health signal: checksum failures separate from structural ones.
+var (
+	mDecodeOK       = telemetry.Default().Counter("protocol_frames_decoded_total")
+	mDecodeFail     = telemetry.Default().Counter("protocol_decode_fail_total")
+	mChecksumFail   = telemetry.Default().Counter("protocol_checksum_fail_total")
+	mEncodeTooLarge = telemetry.Default().Counter("protocol_encode_too_large_total")
 )
 
 // Frame is a parsed Z-Wave MAC frame. Payload holds the application layer
@@ -88,6 +100,7 @@ func (f *Frame) Encode() ([]byte, error) {
 	mode := f.checksumOrDefault()
 	total := HeaderSize + len(f.Payload) + mode.trailerSize()
 	if total > MaxFrameSize {
+		mEncodeTooLarge.Inc()
 		return nil, fmt.Errorf("%w: %d-byte payload needs a %d-byte frame", ErrPayloadTooLarge, len(f.Payload), total)
 	}
 	buf := make([]byte, 0, total)
@@ -117,17 +130,23 @@ func Decode(raw []byte, mode ChecksumMode) (*Frame, error) {
 	}
 	minLen := HeaderSize + mode.trailerSize()
 	if len(raw) < minLen {
+		mDecodeFail.Inc()
 		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrFrameTooShort, len(raw), minLen)
 	}
 	if len(raw) > MaxFrameSize {
+		mDecodeFail.Inc()
 		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(raw))
 	}
 	if int(raw[7]) != len(raw) {
+		mDecodeFail.Inc()
 		return nil, fmt.Errorf("%w: LEN=%d, frame is %d bytes", ErrLengthMismatch, raw[7], len(raw))
 	}
 	if !verifyChecksum(raw, mode) {
+		mDecodeFail.Inc()
+		mChecksumFail.Inc()
 		return nil, fmt.Errorf("%w (%s)", ErrBadChecksum, mode)
 	}
+	mDecodeOK.Inc()
 	f := &Frame{
 		Home:     HomeID(binary.BigEndian.Uint32(raw[0:4])),
 		Src:      NodeID(raw[4]),

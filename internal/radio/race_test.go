@@ -1,0 +1,137 @@
+package radio
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"zcover/internal/telemetry"
+	"zcover/internal/vtime"
+)
+
+// TestTransceiverConcurrentHammer drives attach/transmit/stats/detach from
+// many goroutines against one shared medium. Run under -race (the tier-1
+// suite always is) it pins the Transceiver synchronisation fixed in this
+// package: Stats, Detach, and deliver used to touch unsynchronised fields.
+func TestTransceiverConcurrentHammer(t *testing.T) {
+	clock := vtime.NewSimClock()
+	m := NewMedium(clock)
+
+	// A stable listener that keeps receiving throughout.
+	sink := m.Attach("sink", RegionUS)
+	var sinkMu sync.Mutex
+	received := 0
+	sink.SetReceiver(func(Capture) {
+		sinkMu.Lock()
+		received++
+		sinkMu.Unlock()
+	})
+
+	frame := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x01, 0x41, 0x01, 0x0A, 0x02, 0x25}
+	const workers = 8
+	const rounds = 50
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				tr := m.Attach("node", RegionUS)
+				tr.SetReceiver(func(Capture) {})
+				if err := tr.Transmit(frame); err != nil {
+					t.Errorf("worker %d: transmit: %v", w, err)
+					return
+				}
+				tr.Stats()
+				sink.Stats()
+				tr.Detach()
+				if err := tr.Transmit(frame); !errors.Is(err, ErrDetached) {
+					t.Errorf("worker %d: transmit after Detach = %v, want ErrDetached", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if tx, _ := sink.Stats(); tx != 0 {
+		t.Errorf("sink tx = %d, want 0", tx)
+	}
+	sinkMu.Lock()
+	defer sinkMu.Unlock()
+	if _, rx := sink.Stats(); rx != received || rx == 0 {
+		t.Errorf("sink rx = %d, handler saw %d", rx, received)
+	}
+}
+
+// TestDetachedTransceiverDropsLateDelivery pins that a node detached
+// concurrently with a transmission never observes the frame.
+func TestDetachedTransceiverDropsLateDelivery(t *testing.T) {
+	clock := vtime.NewSimClock()
+	m := NewMedium(clock)
+	a := m.Attach("a", RegionUS)
+	b := m.Attach("b", RegionUS)
+	got := 0
+	b.SetReceiver(func(Capture) { got++ })
+	b.Detach()
+	if err := a.Transmit([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("detached transceiver received %d frames", got)
+	}
+}
+
+func TestFlightRecorderCapturesTransmissions(t *testing.T) {
+	clock := vtime.NewSimClock()
+	m := NewMedium(clock)
+	rec := telemetry.NewFlightRecorder(4)
+	m.SetFlightRecorder(rec)
+
+	a := m.Attach("attacker", RegionUS)
+	b := m.Attach("victim", RegionUS)
+	b.SetReceiver(func(Capture) {})
+
+	// A clear-text frame, then an S0- and an S2-encapsulated payload
+	// (security class is read from the first payload byte at HeaderSize=9).
+	clear := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x02, 0x41, 0x01, 0x0C, 0x01, 0x25, 0x01, 0xFF}
+	s0 := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x02, 0x41, 0x01, 0x0C, 0x01, 0x98, 0x81, 0x00}
+	s2 := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x02, 0x41, 0x01, 0x0C, 0x01, 0x9F, 0x03, 0x00}
+	for _, raw := range [][]byte{clear, s0, s2} {
+		if err := a.Transmit(raw); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap := rec.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("recorded %d frames, want 3", len(snap))
+	}
+	wantSec := []telemetry.SecurityClass{telemetry.SecurityNone, telemetry.SecurityS0, telemetry.SecurityS2}
+	for i, fr := range snap {
+		if fr.Security != wantSec[i] {
+			t.Errorf("frame %d security = %q, want %q", i, fr.Security, wantSec[i])
+		}
+		if fr.From != "attacker" || fr.Targets != 1 || fr.Lost != 0 || fr.Corrupted != 0 {
+			t.Errorf("frame %d verdict = %+v", i, fr)
+		}
+		if fr.Airtime != Airtime(len(clear)) {
+			t.Errorf("frame %d airtime = %v, want %v", i, fr.Airtime, Airtime(len(clear)))
+		}
+		if fr.At.After(clock.Now().Add(Airtime(len(clear)))) {
+			t.Errorf("frame %d timestamp %v is off the sim timeline", i, fr.At)
+		}
+	}
+
+	// Loss injection shows up in the verdict.
+	m.SetImpairments(1.0, 0, 42)
+	if err := a.Transmit(clear); err != nil {
+		t.Fatal(err)
+	}
+	snap = rec.Snapshot()
+	last := snap[len(snap)-1]
+	if last.Lost != 1 || last.Targets != 1 {
+		t.Errorf("lossy frame verdict = %+v, want Lost=1 of Targets=1", last)
+	}
+}

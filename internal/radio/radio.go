@@ -18,10 +18,23 @@ import (
 	"math/rand"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zcover/internal/protocol"
+	"zcover/internal/telemetry"
 	"zcover/internal/vtime"
+)
+
+// Process-wide air-interface metrics. Handles resolve once at init; the
+// per-frame cost is a handful of lock-free atomic adds.
+var (
+	mTxFrames  = telemetry.Default().Counter("radio_tx_frames_total")
+	mRxFrames  = telemetry.Default().Counter("radio_rx_frames_total")
+	mLost      = telemetry.Default().Counter("radio_frames_lost_total")
+	mCorrupted = telemetry.Default().Counter("radio_frames_corrupted_total")
+	mTooLong   = telemetry.Default().Counter("radio_frames_too_long_total")
+	mAirtime   = telemetry.Default().Histogram("radio_airtime_ms", 2, 3, 4, 5, 6, 7, 8)
 )
 
 // Region selects the regional RF profile (ITU-T G.9959 regional annexes).
@@ -93,6 +106,7 @@ type Medium struct {
 	rng      *rand.Rand
 	txLog    int
 	rangeLim float64
+	recorder *telemetry.FlightRecorder
 }
 
 // NewMedium creates an empty air over the given simulated clock.
@@ -126,6 +140,16 @@ func (m *Medium) SetRange(r float64) {
 	m.rangeLim = r
 }
 
+// SetFlightRecorder attaches a packet flight recorder: every transmission
+// is recorded with its raw bytes, airtime, security class, and delivery
+// verdict. Nil detaches. The recorder is the post-mortem channel findings
+// dump alongside their log entries.
+func (m *Medium) SetFlightRecorder(rec *telemetry.FlightRecorder) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recorder = rec
+}
+
 // TransmitCount reports how many frames have been put on the air in total.
 func (m *Medium) TransmitCount() int {
 	m.mu.Lock()
@@ -146,13 +170,14 @@ func (m *Medium) Attach(name string, region Region) *Transceiver {
 // transmit schedules delivery of raw to all other transceivers in region.
 func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 	if len(raw) > protocol.MaxFrameSize {
+		mTooLong.Inc()
 		return fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(raw))
 	}
 	m.mu.Lock()
 	m.txLog++
 	targets := make([]*Transceiver, 0, len(m.nodes))
 	for _, t := range m.nodes {
-		if t != from && t.region == from.region && !t.detached && m.inRange(from, t) {
+		if t != from && t.region == from.region && !t.detached.Load() && m.inRange(from, t) {
 			targets = append(targets, t)
 		}
 	}
@@ -170,22 +195,60 @@ func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 		noiseIdx = m.rng.Intn(len(raw))
 		noiseBit = 1 << m.rng.Intn(8)
 	}
+	recorder := m.recorder
 	m.mu.Unlock()
 
-	at := m.clock.Now().Add(Airtime(len(raw)))
+	airtime := Airtime(len(raw))
+	mTxFrames.Inc()
+	mAirtime.Observe(float64(airtime) / float64(time.Millisecond))
+
+	at := m.clock.Now().Add(airtime)
+	lost, corrupted := 0, 0
 	for i, t := range targets {
 		if lossP > 0 && lossDraws[i] < lossP {
+			lost++
 			continue
 		}
 		frame := make([]byte, len(raw))
 		copy(frame, raw)
 		if noiseP > 0 && len(frame) > 0 && noiseDraws[i] < noiseP {
 			frame[noiseIdx] ^= noiseBit
+			corrupted++
 		}
 		t.deliver(Capture{At: at, Raw: frame})
 	}
-	m.clock.Schedule(Airtime(len(raw)), func() {})
+	mLost.Add(int64(lost))
+	mCorrupted.Add(int64(corrupted))
+	if recorder != nil {
+		recorder.Record(telemetry.FrameRecord{
+			At:        at,
+			From:      from.name,
+			Raw:       append([]byte(nil), raw...),
+			Airtime:   airtime,
+			Security:  securityClassOf(raw),
+			Targets:   len(targets),
+			Lost:      lost,
+			Corrupted: corrupted,
+		})
+	}
+	m.clock.Schedule(airtime, func() {})
 	return nil
+}
+
+// securityClassOf classifies a raw frame's transport encapsulation by its
+// first application-payload byte (S0 = CMDCL 0x98, S2 = CMDCL 0x9F).
+func securityClassOf(raw []byte) telemetry.SecurityClass {
+	if len(raw) <= protocol.HeaderSize {
+		return telemetry.SecurityNone
+	}
+	switch raw[protocol.HeaderSize] {
+	case 0x98:
+		return telemetry.SecurityS0
+	case 0x9F:
+		return telemetry.SecurityS2
+	default:
+		return telemetry.SecurityNone
+	}
 }
 
 // inRange applies the propagation model (callers hold m.mu).
@@ -198,19 +261,22 @@ func (m *Medium) inRange(a, b *Transceiver) bool {
 }
 
 // Transceiver is one radio endpoint: a device chipset, the attacker's
-// dongle, or a passive sniffer.
+// dongle, or a passive sniffer. It is safe for concurrent use: the counters
+// and the detach flag are atomics, so Stats, Transmit, Detach, and frame
+// delivery may race freely across goroutines (the fleet hammers exactly
+// that pattern); x/y/placed are guarded by the medium's lock.
 type Transceiver struct {
 	medium   *Medium
 	name     string
 	region   Region
-	detached bool
+	detached atomic.Bool
 	x, y     float64
 	placed   bool
 
 	mu      sync.Mutex
 	handler func(Capture)
-	txCount int
-	rxCount int
+	txCount atomic.Int64
+	rxCount atomic.Int64
 }
 
 // Name reports the diagnostic name given at Attach.
@@ -229,18 +295,17 @@ func (t *Transceiver) SetReceiver(fn func(Capture)) {
 
 // Transmit puts a raw frame on the air.
 func (t *Transceiver) Transmit(raw []byte) error {
-	if t.detached {
+	if t.detached.Load() {
 		return ErrDetached
 	}
-	t.mu.Lock()
-	t.txCount++
-	t.mu.Unlock()
+	t.txCount.Add(1)
 	return t.medium.transmit(t, raw)
 }
 
 // Detach removes the transceiver from the air; it no longer receives and
-// can no longer transmit.
-func (t *Transceiver) Detach() { t.detached = true }
+// can no longer transmit. Safe to call from any goroutine, concurrently
+// with in-flight transmissions.
+func (t *Transceiver) Detach() { t.detached.Store(true) }
 
 // Place assigns the transceiver a position (metres) for the geometric
 // propagation model. Unplaced transceivers are always in range.
@@ -252,15 +317,18 @@ func (t *Transceiver) Place(x, y float64) {
 
 // Stats reports frames transmitted and received by this transceiver.
 func (t *Transceiver) Stats() (tx, rx int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.txCount, t.rxCount
+	return int(t.txCount.Load()), int(t.rxCount.Load())
 }
 
-// deliver hands a capture to the installed handler.
+// deliver hands a capture to the installed handler. A transceiver detached
+// after target selection drops the frame instead of delivering late.
 func (t *Transceiver) deliver(c Capture) {
+	if t.detached.Load() {
+		return
+	}
+	t.rxCount.Add(1)
+	mRxFrames.Inc()
 	t.mu.Lock()
-	t.rxCount++
 	fn := t.handler
 	t.mu.Unlock()
 	if fn != nil {

@@ -7,6 +7,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"zcover/internal/telemetry"
+)
+
+// Process-wide S0 transport metrics (the S2 counterparts live in s2.go).
+var (
+	mS0Encrypt  = telemetry.Default().Counter("security_s0_encrypt_total")
+	mS0Decrypt  = telemetry.Default().Counter("security_s0_decrypt_total")
+	mS0AuthFail = telemetry.Default().Counter("security_s0_auth_fail_total")
 )
 
 // Security 0 (S0) encapsulation: the legacy AES-128 transport. Key
@@ -108,6 +117,7 @@ func S0Encapsulate(keys S0Keys, senderNonce, receiverNonce, header, plaintext []
 	out = append(out, ct...)
 	out = append(out, receiverNonce[0]) // nonce identifier
 	out = append(out, mac...)
+	mS0Encrypt.Inc()
 	return out, nil
 }
 
@@ -116,9 +126,11 @@ func S0Encapsulate(keys S0Keys, senderNonce, receiverNonce, header, plaintext []
 func S0Decapsulate(keys S0Keys, receiverNonce, header, payload []byte) ([]byte, error) {
 	minLen := 2 + S0NonceSize + 1 + S0MACSize
 	if len(payload) < minLen {
+		mS0AuthFail.Inc()
 		return nil, fmt.Errorf("%w: payload too short (%d bytes)", ErrS0Auth, len(payload))
 	}
 	if payload[0] != 0x98 || payload[1] != 0x81 {
+		mS0AuthFail.Inc()
 		return nil, fmt.Errorf("%w: not an S0 message encapsulation", ErrS0Auth)
 	}
 	senderNonce := payload[2 : 2+S0NonceSize]
@@ -127,6 +139,7 @@ func S0Decapsulate(keys S0Keys, receiverNonce, header, payload []byte) ([]byte, 
 	gotMAC := payload[len(payload)-S0MACSize:]
 
 	if nonceID != receiverNonce[0] {
+		mS0AuthFail.Inc()
 		return nil, fmt.Errorf("%w: unknown receiver nonce id %#02x", ErrS0Auth, nonceID)
 	}
 	iv := append(append([]byte{}, senderNonce...), receiverNonce...)
@@ -135,12 +148,14 @@ func S0Decapsulate(keys S0Keys, receiverNonce, header, payload []byte) ([]byte, 
 		return nil, err
 	}
 	if subtle.ConstantTimeCompare(gotMAC, wantMAC) != 1 {
+		mS0AuthFail.Inc()
 		return nil, ErrS0Auth
 	}
 	pt := make([]byte, len(ct))
 	if err := ofbCrypt(keys.Enc, iv, pt, ct); err != nil {
 		return nil, err
 	}
+	mS0Decrypt.Inc()
 	return pt, nil
 }
 

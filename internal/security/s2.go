@@ -6,6 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"zcover/internal/telemetry"
+)
+
+// Process-wide S2 transport metrics (the S0 counterparts live in s0.go).
+var (
+	mS2Encrypt  = telemetry.Default().Counter("security_s2_encrypt_total")
+	mS2Decrypt  = telemetry.Default().Counter("security_s2_decrypt_total")
+	mS2AuthFail = telemetry.Default().Counter("security_s2_auth_fail_total")
+	mS2Desync   = telemetry.Default().Counter("security_s2_desync_total")
 )
 
 // S2 key-exchange and encapsulation. The flow mirrors the Security 2
@@ -168,6 +178,7 @@ func (s *Session) Encapsulate(flow Flow, aad, plaintext []byte) ([]byte, error) 
 	out := make([]byte, 0, 4+len(ct))
 	out = append(out, 0x9F, 0x03, seq, 0x00)
 	out = append(out, ct...)
+	mS2Encrypt.Inc()
 	return out, nil
 }
 
@@ -176,13 +187,16 @@ func (s *Session) Encapsulate(flow Flow, aad, plaintext []byte) ([]byte, error) 
 // yields ErrS2Desync; a forged or corrupted ciphertext yields ErrS2Auth.
 func (s *Session) Decapsulate(flow Flow, aad, payload []byte) ([]byte, error) {
 	if len(payload) < 4+CCMTagSize {
+		mS2AuthFail.Inc()
 		return nil, fmt.Errorf("%w: payload too short (%d bytes)", ErrS2Auth, len(payload))
 	}
 	if payload[0] != 0x9F || payload[1] != 0x03 {
+		mS2AuthFail.Inc()
 		return nil, fmt.Errorf("%w: not an S2 message encapsulation", ErrS2Auth)
 	}
 	seq, extFlags := payload[2], payload[3]
 	if s.haveSeq[flow] && seq == s.lastSeq[flow] {
+		mS2Desync.Inc()
 		return nil, fmt.Errorf("%w: duplicate sequence %d", ErrS2Desync, seq)
 	}
 
@@ -195,11 +209,13 @@ func (s *Session) Decapsulate(flow Flow, aad, payload []byte) ([]byte, error) {
 	fullAAD := append(append([]byte{}, aad...), seq, extFlags)
 	pt, err := aead.Open(nil, nonce, payload[4:], fullAAD)
 	if err != nil {
+		mS2AuthFail.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrS2Auth, err)
 	}
 	s.ctr[flow] = n + 1
 	s.lastSeq[flow] = seq
 	s.haveSeq[flow] = true
+	mS2Decrypt.Inc()
 	return pt, nil
 }
 

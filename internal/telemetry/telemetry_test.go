@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter lookup did not return the same handle")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the "le" semantics: a value exactly on
+// a bound lands in that bound's bucket, one epsilon above spills into the
+// next, and values above every bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 5, 10)
+
+	cases := []struct {
+		v    float64
+		want int // bucket index: bounds [1 5 10] + +Inf at 3
+	}{
+		{0, 0}, {1, 0}, // exactly on the first bound → first bucket
+		{1.0000001, 1},
+		{5, 1}, // exactly on a middle bound
+		{9.999, 2},
+		{10, 2},   // exactly on the last bound
+		{10.1, 3}, // above every bound → +Inf
+		{1e12, 3},
+		{-3, 0}, // below the first bound still lands in the first bucket
+	}
+	for _, tc := range cases {
+		before := h.BucketCounts()
+		h.Observe(tc.v)
+		after := h.BucketCounts()
+		for i := range after {
+			wantDelta := int64(0)
+			if i == tc.want {
+				wantDelta = 1
+			}
+			if after[i]-before[i] != wantDelta {
+				t.Errorf("Observe(%v): bucket %d delta = %d, want %d",
+					tc.v, i, after[i]-before[i], wantDelta)
+			}
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 10, 1, 5)
+	got := h.Bounds()
+	want := []float64{1, 5, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 2)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+	if h.Sum() != 8000*1.5 {
+		t.Fatalf("Sum = %g, want %g", h.Sum(), 8000*1.5)
+	}
+}
+
+func TestWritePrometheusStableAndCumulative(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	r.Gauge("q").Set(-4)
+	h := r.Histogram("lat_ms", 1, 2)
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(99)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Index(out, "a_total") > strings.Index(out, "b_total") {
+		t.Errorf("counters not sorted by name:\n%s", out)
+	}
+	for _, want := range []string{
+		"a_total 1", "b_total 2", "q -4",
+		`lat_ms_bucket{le="1"} 1`,
+		`lat_ms_bucket{le="2"} 2`,
+		`lat_ms_bucket{le="+Inf"} 3`,
+		"lat_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("two exports of the same registry differ")
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	simNow := time.Date(2025, 1, 1, 0, 0, 42, 0, time.UTC)
+	r.SetNow(func() time.Time { return simNow })
+	r.Counter("pkts").Add(7)
+	r.Gauge("running").Set(3)
+	r.Histogram("h", 1).Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		At         time.Time        `json:"at"`
+		Counters   map[string]int64 `json:"counters"`
+		Gauges     map[string]int64 `json:"gauges"`
+		Histograms map[string]struct {
+			Counts []int64 `json:"counts"`
+			Count  int64   `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if !doc.At.Equal(simNow) {
+		t.Errorf("at = %v, want sim time %v", doc.At, simNow)
+	}
+	if doc.Counters["pkts"] != 7 || doc.Gauges["running"] != 3 {
+		t.Errorf("values = %v / %v", doc.Counters, doc.Gauges)
+	}
+	if h := doc.Histograms["h"]; h.Count != 1 || len(h.Counts) != 2 || h.Counts[1] != 1 {
+		t.Errorf("histogram export wrong: %+v", h)
+	}
+}
+
+func TestRegistryReset(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Add(5)
+	h := r.Histogram("h", 1)
+	h.Observe(9)
+	r.Reset()
+	if c.Load() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatalf("Reset left values: c=%d count=%d sum=%g", c.Load(), h.Count(), h.Sum())
+	}
+}
+
+func TestFlightRecorderRingAndSnapshot(t *testing.T) {
+	rec := NewFlightRecorder(3)
+	if rec.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", rec.Depth())
+	}
+	at := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := byte(1); i <= 5; i++ {
+		rec.Record(FrameRecord{At: at, Raw: []byte{i}, Security: SecurityNone})
+	}
+	if rec.Len() != 3 || rec.Recorded() != 5 {
+		t.Fatalf("Len=%d Recorded=%d, want 3/5", rec.Len(), rec.Recorded())
+	}
+	snap := rec.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d frames, want 3", len(snap))
+	}
+	for i, wantByte := range []byte{3, 4, 5} {
+		if snap[i].Raw[0] != wantByte {
+			t.Errorf("snapshot[%d].Raw = %v, want [%d]", i, snap[i].Raw, wantByte)
+		}
+		if snap[i].Seq != uint64(wantByte) {
+			t.Errorf("snapshot[%d].Seq = %d, want %d", i, snap[i].Seq, wantByte)
+		}
+	}
+	// Snapshot raw bytes are private copies.
+	snap[0].Raw[0] = 0xFF
+	if rec.Snapshot()[0].Raw[0] == 0xFF {
+		t.Error("snapshot aliased the ring buffer")
+	}
+	rec.Reset()
+	if rec.Len() != 0 || rec.Recorded() != 5 {
+		t.Errorf("after Reset: Len=%d Recorded=%d, want 0/5", rec.Len(), rec.Recorded())
+	}
+}
+
+func TestFlightRecorderDefaultDepth(t *testing.T) {
+	if got := NewFlightRecorder(0).Depth(); got != DefaultFlightDepth {
+		t.Fatalf("Depth = %d, want %d", got, DefaultFlightDepth)
+	}
+}
+
+func TestTracerRoundTripAndNilSafety(t *testing.T) {
+	var nilTracer *Tracer
+	sp := nilTracer.Span("x", "phase", nil)
+	sp.SetAttr("k", "v")
+	if err := sp.End(); err != nil {
+		t.Fatalf("nil tracer span End: %v", err)
+	}
+
+	var buf bytes.Buffer
+	start := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	tr := NewTracer(&buf, nil)
+	s := tr.SpanAt("scan", "phase", map[string]string{"device": "D1"}, start)
+	s.SetAttr("strategy", "zcover-full")
+	if err := s.EndAt(start.Add(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 1 {
+		t.Fatalf("Events = %d, want 1", tr.Events())
+	}
+
+	evs, err := ReadTrace(strings.NewReader(buf.String() + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 {
+		t.Fatalf("ReadTrace returned %d events, want 1", len(evs))
+	}
+	ev := evs[0]
+	if ev.Name != "scan" || ev.Kind != "phase" || ev.DurSec != 120 ||
+		ev.Attrs["device"] != "D1" || ev.Attrs["strategy"] != "zcover-full" {
+		t.Errorf("event = %+v", ev)
+	}
+	if !ev.Start.Equal(start) || !ev.End.Equal(start.Add(2*time.Minute)) {
+		t.Errorf("span times = %v..%v", ev.Start, ev.End)
+	}
+}
+
+func TestReadTraceToleratesUnknownFieldsRejectsGarbage(t *testing.T) {
+	in := `{"name":"fuzz","kind":"phase","start":"2025-01-01T00:00:00Z","end":"2025-01-01T00:01:00Z","dur_sec":60,"future_field":123}`
+	evs, err := ReadTrace(strings.NewReader(in))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("unknown-field line: evs=%d err=%v", len(evs), err)
+	}
+	if _, err := ReadTrace(strings.NewReader("{not json}")); err == nil {
+		t.Fatal("malformed line did not error")
+	}
+}

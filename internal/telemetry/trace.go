@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one completed span, serialised as a JSON line. The three
+// ZCover phases (scan → discover → fuzz) and fleet jobs each emit one.
+type TraceEvent struct {
+	// Name identifies the span ("scan", "discover", "fuzz", a job label).
+	Name string `json:"name"`
+	// Kind groups spans: "phase" for pipeline stages, "job" for fleet work.
+	Kind string `json:"kind,omitempty"`
+	// Start and End bound the span. Pipeline phases run on simulated time;
+	// fleet jobs on wall time (the attrs say which).
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// DurSec is End−Start in seconds, precomputed for plotting.
+	DurSec float64 `json:"dur_sec"`
+	// Attrs carries span labels (device, strategy, outcome, ...).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer writes completed spans as JSON lines. Writes are serialised by a
+// mutex; spans from concurrent fleet jobs appear in completion order. A
+// nil *Tracer is a valid no-op tracer, so call sites need no guards.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	now func() time.Time
+	n   int
+}
+
+// NewTracer writes spans to w, stamping them with now (nil = wall clock).
+// Point now at a vtime.SimClock's Now for deterministic traces.
+func NewTracer(w io.Writer, now func() time.Time) *Tracer {
+	if now == nil {
+		now = time.Now
+	}
+	return &Tracer{w: w, now: now}
+}
+
+// Events reports how many spans have been written.
+func (t *Tracer) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Span starts a span stamped with the tracer's clock. Safe on nil tracers.
+func (t *Tracer) Span(name, kind string, attrs map[string]string) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.SpanAt(name, kind, attrs, t.now())
+}
+
+// SpanAt starts a span at an explicit instant — campaign code uses the
+// testbed's simulated clock here so traces are deterministic.
+func (t *Tracer) SpanAt(name, kind string, attrs map[string]string, start time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, ev: TraceEvent{Name: name, Kind: kind, Start: start, Attrs: attrs}}
+}
+
+// Span is one in-flight span. End (or EndAt) completes and writes it.
+type Span struct {
+	t  *Tracer
+	ev TraceEvent
+}
+
+// SetAttr attaches a label to the span. Safe on nil spans.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.ev.Attrs == nil {
+		s.ev.Attrs = map[string]string{}
+	}
+	s.ev.Attrs[k] = v
+}
+
+// End completes the span at the tracer's clock and writes it.
+func (s *Span) End() error {
+	if s == nil {
+		return nil
+	}
+	return s.EndAt(s.t.now())
+}
+
+// EndAt completes the span at an explicit instant and writes it.
+func (s *Span) EndAt(end time.Time) error {
+	if s == nil {
+		return nil
+	}
+	s.ev.End = end
+	s.ev.DurSec = end.Sub(s.ev.Start).Seconds()
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	enc := json.NewEncoder(s.t.w)
+	if err := enc.Encode(s.ev); err != nil {
+		return fmt.Errorf("telemetry: writing trace event: %w", err)
+	}
+	s.t.n++
+	return nil
+}
+
+// ReadTrace parses a JSONL trace stream, tolerating blank lines and
+// unknown fields (forward compatibility) but failing on malformed JSON.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(text, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return out, nil
+}

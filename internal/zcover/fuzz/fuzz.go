@@ -11,10 +11,21 @@ import (
 
 	"zcover/internal/cmdclass"
 	"zcover/internal/oracle"
+	"zcover/internal/telemetry"
 	"zcover/internal/vtime"
 	"zcover/internal/zcover/dongle"
 	"zcover/internal/zcover/mutate"
 	"zcover/internal/zcover/scan"
+)
+
+// Process-wide fuzzing metrics. Detection latency is the simulated time
+// between injecting the trigger packet and the oracle observing its effect
+// — the black-box analogue of the paper's human verification delay.
+var (
+	mPackets         = telemetry.Default().Counter("fuzz_packets_total")
+	mFindings        = telemetry.Default().Counter("fuzz_findings_total")
+	mDuplicates      = telemetry.Default().Counter("fuzz_duplicates_total")
+	mDetectLatencyMS = telemetry.Default().Histogram("oracle_detect_latency_ms", 1, 10, 100, 1000, 10000)
 )
 
 // Strategy names the engine configuration (Table VI's three rows).
@@ -52,6 +63,10 @@ type Config struct {
 	// OnFinding, if set, is invoked synchronously for each new unique
 	// finding — live progress for interactive callers.
 	OnFinding func(Finding)
+	// Recorder, if set, is the packet flight recorder attached to the
+	// campaign's radio medium; each new finding carries a snapshot of it
+	// (the surrounding frames) as its replayable post-mortem trace.
+	Recorder *telemetry.FlightRecorder
 }
 
 // withDefaults fills unset fields.
@@ -95,6 +110,10 @@ type Finding struct {
 	// responding — memory-tampering bugs do not take the radio down).
 	// Granularity is the ping retry interval.
 	MeasuredOutage time.Duration
+	// Trace is the flight-recorder snapshot taken at the moment of
+	// discovery: the last frames on the air up to and including the
+	// trigger. Empty when no recorder was attached (Config.Recorder).
+	Trace []telemetry.FrameRecord
 }
 
 // Sample is one point of the packets-over-time curve (Fig. 12).
@@ -263,14 +282,16 @@ func (e *Engine) oneTest(stream *mutate.Stream) (newFinding bool, recovery time.
 	for i := 0; i < maxFilteredDraws && len(payload) >= 2 && e.crashedCmds[[2]byte{payload[0], payload[1]}]; i++ {
 		payload = stream.Next()
 	}
+	txAt := e.clock.Now()
 	ex, err := e.dongle.SendAndObserve(e.fp.Home, scan.AttackerNodeID, e.fp.Controller,
 		payload, e.cfg.ResponseWindow)
 	e.res.PacketsSent++
+	mPackets.Inc()
 	if err != nil {
 		return false, 0 // unencodable mutant: skip, as a dongle would
 	}
 
-	newFinding = e.drainEvents(e.res, payload, e.elapsed())
+	newFinding = e.drainEvents(e.res, payload, e.elapsed(), txAt)
 
 	// Feedback loop: liveness check via NOP ping; wait out hangs. A hang
 	// marks the (class, command) pair as crashing so it is not re-sent,
@@ -302,23 +323,32 @@ func (e *Engine) oneTest(stream *mutate.Stream) (newFinding bool, recovery time.
 }
 
 // drainEvents folds pending oracle observations into the result. It
-// reports whether a new unique finding was logged.
-func (e *Engine) drainEvents(res *Result, payload []byte, elapsed time.Duration) bool {
+// reports whether a new unique finding was logged. txAt is the simulated
+// instant the trigger went on the air (detection-latency metric origin).
+func (e *Engine) drainEvents(res *Result, payload []byte, elapsed time.Duration, txAt time.Time) bool {
 	found := false
 	for _, ev := range e.pending {
 		sig := ev.Signature()
 		if e.seen[sig] {
 			res.Duplicates++
+			mDuplicates.Inc()
 			continue
 		}
 		e.seen[sig] = true
 		found = true
+		mFindings.Inc()
+		if lat := ev.At.Sub(txAt); lat >= 0 {
+			mDetectLatencyMS.Observe(float64(lat) / float64(time.Millisecond))
+		}
 		finding := Finding{
 			Signature:      sig,
 			Event:          ev,
 			TriggerPayload: append([]byte{}, payload...),
 			Packets:        res.PacketsSent,
 			Elapsed:        elapsed,
+		}
+		if e.cfg.Recorder != nil {
+			finding.Trace = e.cfg.Recorder.Snapshot()
 		}
 		res.Findings = append(res.Findings, finding)
 		if e.cfg.OnFinding != nil {

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"zcover/internal/telemetry"
 )
 
 // LogEntry is the serialised form of one finding — the bug log Algorithm 1
@@ -31,6 +33,68 @@ type LogEntry struct {
 	DurationSec float64 `json:"duration_sec"`
 	// Detail is the oracle's description.
 	Detail string `json:"detail"`
+	// Trace is the flight-recorder snapshot at discovery: the last frames
+	// on the air up to and including the trigger. Present only when the
+	// campaign ran with a flight recorder attached.
+	Trace []TraceFrame `json:"trace,omitempty"`
+}
+
+// TraceFrame is the serialised form of one flight-recorder frame: the raw
+// bytes as transmitted plus the medium's delivery verdict, timestamped on
+// the simulated timeline.
+type TraceFrame struct {
+	// Seq is the recorder-assigned sequence number.
+	Seq uint64 `json:"seq"`
+	// At is the simulated instant the frame finished arriving.
+	At time.Time `json:"at"`
+	// From names the transmitting transceiver.
+	From string `json:"from,omitempty"`
+	// Raw is the hex-encoded frame as it went on the air.
+	Raw string `json:"raw"`
+	// AirtimeUS is the frame's medium occupancy in microseconds.
+	AirtimeUS int64 `json:"airtime_us"`
+	// Security is the transport encapsulation class ("none", "s0", "s2").
+	Security string `json:"security,omitempty"`
+	// Targets/Lost/Corrupted is the delivery verdict.
+	Targets   int `json:"targets,omitempty"`
+	Lost      int `json:"lost,omitempty"`
+	Corrupted int `json:"corrupted,omitempty"`
+}
+
+// RawFrame decodes the hex frame bytes.
+func (tf TraceFrame) RawFrame() ([]byte, error) {
+	raw, err := hex.DecodeString(tf.Raw)
+	if err != nil {
+		return nil, fmt.Errorf("fuzz: trace frame %d raw %q: %w", tf.Seq, tf.Raw, err)
+	}
+	return raw, nil
+}
+
+// Airtime reconstructs the medium occupancy.
+func (tf TraceFrame) Airtime() time.Duration {
+	return time.Duration(tf.AirtimeUS) * time.Microsecond
+}
+
+// traceFrames converts a flight-recorder snapshot to its log form.
+func traceFrames(recs []telemetry.FrameRecord) []TraceFrame {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]TraceFrame, len(recs))
+	for i, r := range recs {
+		out[i] = TraceFrame{
+			Seq:       r.Seq,
+			At:        r.At,
+			From:      r.From,
+			Raw:       hex.EncodeToString(r.Raw),
+			AirtimeUS: r.Airtime.Microseconds(),
+			Security:  string(r.Security),
+			Targets:   r.Targets,
+			Lost:      r.Lost,
+			Corrupted: r.Corrupted,
+		}
+	}
+	return out
 }
 
 // WriteLog serialises a campaign's findings as JSON lines.
@@ -49,6 +113,7 @@ func WriteLog(w io.Writer, res *Result) error {
 			ElapsedSec:  f.Elapsed.Seconds(),
 			DurationSec: f.Event.Duration.Seconds(),
 			Detail:      f.Event.Detail,
+			Trace:       traceFrames(f.Trace),
 		}
 		if err := enc.Encode(entry); err != nil {
 			return fmt.Errorf("fuzz: writing bug log: %w", err)
@@ -57,11 +122,14 @@ func WriteLog(w io.Writer, res *Result) error {
 	return nil
 }
 
-// ReadLog parses a JSON-lines bug log.
+// ReadLog parses a JSON-lines bug log, the WriteLog counterpart. Decoding
+// is strict about structure — a malformed or truncated line, or trailing
+// data after the JSON object, fails with its line number — but tolerant of
+// unknown fields, so logs written by newer versions still replay.
 func ReadLog(r io.Reader) ([]LogEntry, error) {
 	var out []LogEntry
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
 	for sc.Scan() {
 		line++

@@ -1,0 +1,154 @@
+package fuzz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"zcover/internal/oracle"
+	"zcover/internal/telemetry"
+)
+
+// sampleResult builds a two-finding result, the second carrying a
+// flight-recorder trace.
+func sampleResult() *Result {
+	at := time.Date(2025, 1, 1, 0, 2, 3, 0, time.UTC)
+	return &Result{
+		Strategy: StrategyFull,
+		Device:   "D4",
+		Findings: []Finding{
+			{
+				Signature:      "node-removed/0x41/0x04",
+				Event:          oracle.Event{At: at, Device: "D4", Kind: oracle.NodeRemoved, Class: 0x41, Cmd: 0x04, Detail: "node vanished"},
+				TriggerPayload: []byte{0x41, 0x04, 0x01},
+				Packets:        17,
+				Elapsed:        90500 * time.Millisecond,
+			},
+			{
+				Signature:      "service-hang/0x20/0x01",
+				Event:          oracle.Event{At: at.Add(time.Minute), Device: "D4", Kind: oracle.ServiceHang, Class: 0x20, Cmd: 0x01, Duration: 30 * time.Second, Detail: "hang"},
+				TriggerPayload: []byte{0x20, 0x01, 0xFF},
+				Packets:        42,
+				Elapsed:        2 * time.Minute,
+				Trace: []telemetry.FrameRecord{
+					{Seq: 7, At: at.Add(59 * time.Second), From: "attacker", Raw: []byte{0xDE, 0xAD, 0xBE, 0xEF}, Airtime: 4160 * time.Microsecond, Security: telemetry.SecurityNone, Targets: 2},
+					{Seq: 8, At: at.Add(time.Minute), From: "attacker", Raw: []byte{0xCA, 0xFE}, Airtime: 2000 * time.Microsecond, Security: telemetry.SecurityS0, Targets: 2, Lost: 1},
+				},
+			},
+		},
+		PacketsSent: 42,
+	}
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	res := sampleResult()
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, res); err != nil {
+		t.Fatalf("WriteLog: %v", err)
+	}
+	entries, err := ReadLog(&buf)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+
+	first := entries[0]
+	if first.Strategy != string(StrategyFull) || first.Device != "D4" {
+		t.Errorf("labels = %q/%q", first.Strategy, first.Device)
+	}
+	if first.Signature != "node-removed/0x41/0x04" || first.Kind != "node-removed" {
+		t.Errorf("identity = %q kind %q", first.Signature, first.Kind)
+	}
+	if first.Class != 0x41 || first.Cmd != 0x04 {
+		t.Errorf("vector = 0x%02X/0x%02X", first.Class, first.Cmd)
+	}
+	payload, err := first.TriggerPayload()
+	if err != nil || !bytes.Equal(payload, []byte{0x41, 0x04, 0x01}) {
+		t.Errorf("payload = % X err %v", payload, err)
+	}
+	if first.Elapsed() != 90500*time.Millisecond {
+		t.Errorf("elapsed = %v", first.Elapsed())
+	}
+	if len(first.Trace) != 0 {
+		t.Errorf("finding without recorder has %d trace frames", len(first.Trace))
+	}
+
+	second := entries[1]
+	if second.DurationSec != 30 {
+		t.Errorf("duration_sec = %v", second.DurationSec)
+	}
+	if len(second.Trace) != 2 {
+		t.Fatalf("got %d trace frames, want 2", len(second.Trace))
+	}
+	tf := second.Trace[1]
+	if tf.Seq != 8 || tf.From != "attacker" || tf.Security != "s0" || tf.Lost != 1 || tf.Targets != 2 {
+		t.Errorf("trace frame = %+v", tf)
+	}
+	raw, err := tf.RawFrame()
+	if err != nil || !bytes.Equal(raw, []byte{0xCA, 0xFE}) {
+		t.Errorf("trace raw = % X err %v", raw, err)
+	}
+	if tf.Airtime() != 2000*time.Microsecond {
+		t.Errorf("trace airtime = %v", tf.Airtime())
+	}
+	want := time.Date(2025, 1, 1, 0, 3, 3, 0, time.UTC)
+	if !tf.At.Equal(want) {
+		t.Errorf("trace at = %v, want %v", tf.At, want)
+	}
+}
+
+// TestReadLogUnknownFieldTolerance pins the forward-compatibility contract:
+// entries written by a newer version with extra fields still parse, and
+// blank lines between entries are skipped.
+func TestReadLogUnknownFieldTolerance(t *testing.T) {
+	input := `{"strategy":"zcover","device":"D1","signature":"s","kind":"host-crash","cmdcl":32,"cmd":1,"payload":"2001","packets":3,"elapsed_sec":1.5,"duration_sec":0,"detail":"d","future_field":{"nested":true}}
+
+{"strategy":"vfuzz","device":"D2","signature":"t","kind":"service-hang","cmdcl":0,"cmd":0,"payload":"","packets":9,"elapsed_sec":2,"duration_sec":10,"detail":"","trace":[{"seq":1,"at":"2025-01-01T00:00:01Z","raw":"00","airtime_us":100,"verdict_v2":"kept"}]}
+`
+	entries, err := ReadLog(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries, want 2", len(entries))
+	}
+	if entries[0].Class != 0x20 || entries[0].Cmd != 0x01 {
+		t.Errorf("entry 0 vector = 0x%02X/0x%02X", entries[0].Class, entries[0].Cmd)
+	}
+	if len(entries[1].Trace) != 1 || entries[1].Trace[0].AirtimeUS != 100 {
+		t.Errorf("entry 1 trace = %+v", entries[1].Trace)
+	}
+}
+
+func TestReadLogRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"truncated object": `{"strategy":"zcover","device":`,
+		"trailing garbage": `{"strategy":"zcover"} extra`,
+		"not an object":    `[1,2,3]`,
+		"wrong field type": `{"packets":"many"}`,
+	}
+	for name, input := range cases {
+		if _, err := ReadLog(strings.NewReader("{}\n" + input + "\n")); err == nil {
+			t.Errorf("%s: ReadLog accepted %q", name, input)
+		} else if !strings.Contains(err.Error(), "line 2") {
+			t.Errorf("%s: error %q does not locate line 2", name, err)
+		}
+	}
+}
+
+func TestWriteLogEmptyResult(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, &Result{Strategy: StrategyFull, Device: "D1"}); err != nil {
+		t.Fatalf("WriteLog: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty result wrote %q", buf.String())
+	}
+	entries, err := ReadLog(&buf)
+	if err != nil || len(entries) != 0 {
+		t.Errorf("ReadLog of empty log = %v entries, err %v", entries, err)
+	}
+}

@@ -1,0 +1,41 @@
+#!/bin/sh
+# bench.sh — run the fleet benchmarks with memory stats and write the
+# machine-readable summary to BENCH_fleet.json. `make bench` wraps it.
+#
+#   ./scripts/bench.sh                 # default: 3 iterations per variant
+#   BENCHTIME=10x ./scripts/bench.sh   # more iterations
+#   BENCH_OUT=/tmp/b.json ./scripts/bench.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-3x}"
+out="${BENCH_OUT:-BENCH_fleet.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "== go test -bench BenchmarkFleetParallelism -benchmem (benchtime $benchtime) =="
+go test ./internal/harness -run '^$' -bench BenchmarkFleetParallelism \
+    -benchmem -benchtime "$benchtime" | tee "$raw"
+
+# Benchmark lines look like:
+#   BenchmarkFleetParallelism/workers=4-8  3  123456 ns/op  45.6 simsec/s  789 B/op  12 allocs/op
+# Units follow their values, so scan field pairs instead of positions.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    ns = bop = allocs = rate = "null"
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")      ns = $i
+        if ($(i+1) == "B/op")       bop = $i
+        if ($(i+1) == "allocs/op")  allocs = $i
+        if ($(i+1) == "simsec/s")   rate = $i
+    }
+    line = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"sim_rate\": %s}", name, ns, bop, allocs, rate)
+    lines = (lines == "" ? line : lines ",\n" line)
+}
+END { printf "[\n%s\n]\n", lines }
+' "$raw" > "$out"
+
+echo "bench: wrote $out"

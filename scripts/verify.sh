@@ -24,6 +24,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not on PATH; skipping"
+fi
+
 echo "== go build =="
 go build ./...
 

@@ -73,6 +73,11 @@ type (
 	FleetProgress = fleet.Progress
 	// FleetJob is one self-contained campaign spec for the scheduler.
 	FleetJob = fleet.Job
+	// Options attaches observability (finding callback, packet flight
+	// recorder, phase tracer) to a campaign run.
+	Options = harness.Options
+	// TraceFrame is one serialised flight-recorder frame in a bug log.
+	TraceFrame = fuzz.TraceFrame
 )
 
 // Fuzzing strategies (the three configurations of the paper's ablation).
@@ -111,10 +116,23 @@ func RunObserved(tb *Testbed, strategy Strategy, duration time.Duration, seed in
 	return harness.RunZCoverObserved(tb, strategy, duration, seed, onFinding)
 }
 
+// RunWith is Run with observability attachments: a live finding callback,
+// a packet flight recorder whose snapshots ride on each finding, and a
+// span tracer for the pipeline phases. The zero Options value makes it
+// identical to Run.
+func RunWith(tb *Testbed, strategy Strategy, duration time.Duration, seed int64, opts Options) (*Campaign, error) {
+	return harness.RunZCoverWith(tb, strategy, duration, seed, opts)
+}
+
 // RunBaseline executes the VFuzz baseline against the testbed's controller
 // for the given budget.
 func RunBaseline(tb *Testbed, duration time.Duration, seed int64) (*Result, error) {
 	return harness.RunVFuzz(tb, duration, seed)
+}
+
+// RunBaselineWith is RunBaseline with observability attachments.
+func RunBaselineWith(tb *Testbed, duration time.Duration, seed int64, opts Options) (*Result, error) {
+	return harness.RunVFuzzWith(tb, duration, seed, opts)
 }
 
 // PaperBugs returns the paper's Table III vulnerability catalogue.
