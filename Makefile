@@ -1,7 +1,7 @@
 # Tier-1 gate and convenience targets. `make verify` must pass before
 # every commit; CI runs the same script.
 
-.PHONY: verify verify-full test bench build
+.PHONY: verify verify-full test bench build fuzz-smoke
 
 verify:
 	./scripts/verify.sh
@@ -20,3 +20,8 @@ test:
 # (name, ns/op, B/op, allocs/op, sim-rate per worker-count variant).
 bench:
 	./scripts/bench.sh
+
+# Runs every native fuzz target for a short burst (default 10s each) on top
+# of the committed corpora. FUZZTIME=1m make fuzz-smoke for longer runs.
+fuzz-smoke:
+	./scripts/fuzz_smoke.sh

@@ -81,7 +81,7 @@ func (t *ticker) clear() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, fig12, trials, remediation")
+	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, fig12, trials, remediation, chaos")
 	fuzzBudget := fs.Duration("fuzz", 24*time.Hour, "fuzzing budget for the campaign experiments (paper: 24h)")
 	ablation := fs.Duration("ablation", time.Hour, "budget for the ablation study (paper: 1h)")
 	window := fs.Duration("window", 800*time.Second, "figure 12 plot window (paper: ~800s)")
@@ -92,6 +92,8 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write final metrics to this file (.json = JSON document, else Prometheus text)")
 	traceOut := fs.String("trace-out", "", "write fleet job spans to this file as JSON lines")
 	flightDepth := fs.Int("flight-recorder", 0, "attach a packet flight recorder of this depth to every campaign testbed (0 = off)")
+	chaosProfiles := fs.String("chaos-profiles", "", "comma-separated impairment profiles for -run chaos (empty = burst,noise,jitter)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the chaos campaign's fault injectors")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -259,6 +261,21 @@ func run(args []string) error {
 				return err
 			}
 		}
+	}
+	// The chaos robustness sweep runs only on request: it is not a paper
+	// table but the detection-robustness rerun of Table V under impairment.
+	if *which == "chaos" {
+		ran = true
+		var profiles []string
+		if *chaosProfiles != "" {
+			profiles = strings.Split(*chaosProfiles, ",")
+		}
+		tbl, _, err := harness.ChaosTable5(*fuzzBudget, profiles, *chaosSeed, fleetCfg)
+		tick.clear()
+		if err != nil {
+			return err
+		}
+		fmt.Println(tbl.String())
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *which)

@@ -40,6 +40,8 @@ func run(args []string) error {
 	metricsOut := fs.String("metrics-out", "", "write final metrics to this file (.json = JSON document, else Prometheus text)")
 	traceOut := fs.String("trace-out", "", "write phase spans to this file as JSON lines")
 	flightDepth := fs.Int("flight-recorder", 0, "attach a packet flight recorder of this depth; findings carry frame traces (0 = off)")
+	chaosProfile := fs.String("chaos-profile", "", "impair the channel with this fault profile, e.g. burst, noise, jitter, lossy:corrupt=0.1 (empty = clean)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the fault injector's impairment streams")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,9 +70,20 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ZCover %s — target %s (%s %s), strategy %s, budget %s\n\n",
+	if *chaosProfile != "" {
+		p, err := zcover.ParseChaosProfile(*chaosProfile)
+		if err != nil {
+			return err
+		}
+		tb.ApplyChaos(p, *chaosSeed)
+	}
+	fmt.Printf("ZCover %s — target %s (%s %s), strategy %s, budget %s\n",
 		zcover.Version, *target, tb.Controller.Profile().Brand,
 		tb.Controller.Profile().Model, *strategy, *duration)
+	if tb.Chaos != nil {
+		fmt.Printf("Chaos — profile %s, seed %d\n", tb.Chaos.Profile(), *chaosSeed)
+	}
+	fmt.Println()
 
 	opts := zcover.Options{FlightRecorderDepth: *flightDepth}
 	if *verbose {
@@ -114,7 +127,13 @@ func run(args []string) error {
 	fmt.Println("Phase 3 — position-sensitive fuzzing")
 	fmt.Printf("  packets sent  %d\n", c.Fuzz.PacketsSent)
 	fmt.Printf("  elapsed       %s (simulated)\n", c.Fuzz.Elapsed.Round(time.Second))
-	fmt.Printf("  duplicates    %d\n\n", c.Fuzz.Duplicates)
+	fmt.Printf("  duplicates    %d\n", c.Fuzz.Duplicates)
+	if tb.Chaos != nil {
+		s := tb.Chaos.Stats()
+		fmt.Printf("  chaos faults  %d of %d deliveries (%d dropped, %d corrupted, %d duplicated, %d delayed, %d partitioned)\n",
+			s.Faults(), s.Deliveries, s.Dropped, s.Corrupted, s.Duplicated, s.Delayed, s.Partitioned)
+	}
+	fmt.Println()
 
 	tbl := &report.Table{
 		Title:   fmt.Sprintf("Unique vulnerabilities (%d)", len(c.Fuzz.Findings)),
@@ -129,8 +148,12 @@ func run(args []string) error {
 		if f.MeasuredOutage > 0 {
 			outage = f.MeasuredOutage.Round(time.Second).String()
 		}
+		sig := f.Signature
+		if f.Event.Confidence == zcover.ConfidenceSuspect {
+			sig += " (suspect)"
+		}
 		tbl.AddRow(fmt.Sprintf("%d", i+1), f.Elapsed.Round(time.Second).String(),
-			fmt.Sprintf("%d", f.Packets), f.Signature, outage, ref,
+			fmt.Sprintf("%d", f.Packets), sig, outage, ref,
 			fmt.Sprintf("% X", f.TriggerPayload))
 	}
 	fmt.Print(tbl.String())

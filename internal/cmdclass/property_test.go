@@ -1,0 +1,109 @@
+package cmdclass
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based registry tests over the full specification database, with
+// the generator seed pinned so the input set is stable across runs.
+
+// Property: Get is consistent with All — every ID in All resolves through
+// Get to the same class, any other ID misses, and a resolved class's
+// command lookup agrees with its CommandIDs listing.
+func TestRegistryLookupConsistencyProperty(t *testing.T) {
+	reg := MustLoad()
+	inAll := make(map[ClassID]*Class, reg.Len())
+	for _, c := range reg.All() {
+		inAll[c.ID] = c
+	}
+	prop := func(rawID byte, rawCmd byte) bool {
+		id := ClassID(rawID)
+		c, ok := reg.Get(id)
+		if want, listed := inAll[id]; listed != ok || (ok && c != want) {
+			return false
+		}
+		if !ok {
+			return true
+		}
+		if c.ID != id {
+			return false
+		}
+		known := make(map[CommandID]bool, len(c.Commands))
+		for _, cid := range c.CommandIDs() {
+			known[cid] = true
+		}
+		cmd, ok := c.Command(CommandID(rawCmd))
+		if ok != known[CommandID(rawCmd)] {
+			return false
+		}
+		return !ok || cmd.ID == CommandID(rawCmd)
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PrioritizeByCommandCount returns a permutation of its input,
+// sorted by descending command count with ascending-ID tie-breaks — and the
+// result is independent of the input order (any shuffle prioritises to the
+// same sequence), which is what makes the fuzzing queue deterministic.
+func TestPrioritizeByCommandCountProperty(t *testing.T) {
+	reg := MustLoad()
+	all := reg.All()
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		subset := make([]*Class, 0, len(all))
+		for _, c := range all {
+			if r.Intn(2) == 0 {
+				subset = append(subset, c)
+			}
+		}
+		shuffled := append([]*Class{}, subset...)
+		r.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+
+		got := PrioritizeByCommandCount(shuffled)
+		if len(got) != len(subset) {
+			return false
+		}
+		// Sorted by (commands desc, ID asc).
+		if !sort.SliceIsSorted(got, func(i, j int) bool {
+			if len(got[i].Commands) != len(got[j].Commands) {
+				return len(got[i].Commands) > len(got[j].Commands)
+			}
+			return got[i].ID < got[j].ID
+		}) {
+			return false
+		}
+		// A permutation of the input: same classes, each exactly once.
+		seen := make(map[ClassID]int, len(got))
+		for _, c := range got {
+			seen[c.ID]++
+		}
+		for _, c := range subset {
+			seen[c.ID]--
+		}
+		for _, n := range seen {
+			if n != 0 {
+				return false
+			}
+		}
+		// Order-independent: prioritising the unshuffled subset agrees.
+		ref := PrioritizeByCommandCount(subset)
+		for i := range ref {
+			if ref[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(22))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

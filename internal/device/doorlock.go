@@ -76,6 +76,9 @@ func (d *DoorLock) Identity() Identity { return d.identity }
 // lock is the "B" endpoint of the session (controller is "A").
 func (d *DoorLock) InstallSession(s *security.Session) { d.session = s }
 
+// Session returns the installed S2 session (nil before pairing).
+func (d *DoorLock) Session() *security.Session { return d.session }
+
 // Mode reports the current lock state.
 func (d *DoorLock) Mode() byte { return d.mode }
 

@@ -6,11 +6,38 @@ package device
 
 import (
 	"fmt"
+	"time"
 
 	"zcover/internal/protocol"
 	"zcover/internal/radio"
+	"zcover/internal/telemetry"
 	"zcover/internal/vtime"
 )
+
+// mRetransmissions counts MAC retransmissions across all nodes; it stays
+// zero unless a retry policy is installed (chaos campaigns).
+var mRetransmissions = telemetry.Default().Counter("device_retransmissions_total")
+
+// RetryPolicy configures ACK-timeout retransmission with capped
+// exponential backoff: attempt k (k >= 2) is sent Backoff*2^(k-2) after
+// the previous one, capped at MaxBackoff. The policy exists for impaired
+// channels; with no policy installed (the default) a node transmits each
+// frame exactly once, which keeps clean campaigns byte-identical.
+type RetryPolicy struct {
+	// MaxAttempts bounds total transmissions of one frame (first send
+	// included). Values below 2 disable retransmission.
+	MaxAttempts int
+	// Backoff is the delay before the first retransmission.
+	Backoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+}
+
+// awaitKey identifies one in-flight acknowledgement wait.
+type awaitKey struct {
+	dst protocol.NodeID
+	seq byte
+}
 
 // Config describes one node's attachment to the simulated testbed.
 type Config struct {
@@ -52,7 +79,15 @@ type Node struct {
 	// Repeater marks a mains-powered routing node that forwards routed
 	// frames on behalf of the mesh.
 	Repeater bool
+
+	retry   *RetryPolicy
+	pending map[awaitKey]bool // false = awaiting ack, true = acked
 }
+
+// SetRetry installs (or, with nil, removes) the node's retransmission
+// policy. Like the rest of Node, this is driven from the single simulation
+// goroutine.
+func (n *Node) SetRetry(rp *RetryPolicy) { n.retry = rp }
 
 // NewNode attaches a node to the medium.
 func NewNode(cfg Config) *Node {
@@ -133,7 +168,9 @@ func (n *Node) SendRouted(dst protocol.NodeID, repeaters []protocol.NodeID, apl 
 }
 
 // Send transmits an application payload to dst with the ack-request bit
-// set, as ordinary Z-Wave traffic does.
+// set, as ordinary Z-Wave traffic does. With a retry policy installed,
+// unacknowledged unicast frames are retransmitted with capped exponential
+// backoff.
 func (n *Node) Send(dst protocol.NodeID, payload []byte) error {
 	f := protocol.NewDataFrame(n.cfg.Home, n.cfg.ID, dst, payload)
 	n.seq = (n.seq + 1) & 0x0F
@@ -142,7 +179,52 @@ func (n *Node) Send(dst protocol.NodeID, payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("device %s: %w", n.cfg.Name, err)
 	}
-	return n.trx.Transmit(raw)
+	if n.retry == nil || n.retry.MaxAttempts < 2 || dst == protocol.NodeBroadcast {
+		return n.trx.Transmit(raw)
+	}
+	return n.sendReliable(dst, n.seq, raw)
+}
+
+// sendReliable transmits raw and arms the retry chain. Frame delivery on
+// the simulated medium is synchronous, so by the time Transmit returns the
+// MAC ack — if it survived the channel — has already arrived and marked
+// the wait; the healthy path therefore schedules nothing.
+func (n *Node) sendReliable(dst protocol.NodeID, seq byte, raw []byte) error {
+	key := awaitKey{dst: dst, seq: seq}
+	if n.pending == nil {
+		n.pending = make(map[awaitKey]bool)
+	}
+	n.pending[key] = false
+	if err := n.trx.Transmit(raw); err != nil {
+		delete(n.pending, key)
+		return err
+	}
+	n.armRetry(key, raw, 2, n.retry.Backoff)
+	return nil
+}
+
+// armRetry schedules transmission attempt number `attempt` after delay,
+// unless the frame has been acked or attempts are exhausted (either way
+// the wait is forgotten).
+func (n *Node) armRetry(key awaitKey, raw []byte, attempt int, delay time.Duration) {
+	if n.pending[key] || attempt > n.retry.MaxAttempts {
+		delete(n.pending, key)
+		return
+	}
+	rp := n.retry
+	n.clock.Schedule(delay, func() {
+		if n.pending[key] {
+			delete(n.pending, key)
+			return
+		}
+		mRetransmissions.Inc()
+		_ = n.trx.Transmit(raw)
+		next := delay * 2
+		if rp.MaxBackoff > 0 && next > rp.MaxBackoff {
+			next = rp.MaxBackoff
+		}
+		n.armRetry(key, raw, attempt+1, next)
+	})
 }
 
 // SendAck transmits a MAC transfer acknowledgement.
@@ -198,6 +280,12 @@ func (n *Node) onCapture(c radio.Capture) {
 		return
 	}
 	if f.IsAck() {
+		if n.pending != nil {
+			key := awaitKey{dst: f.Src, seq: f.Control.Sequence}
+			if _, ok := n.pending[key]; ok {
+				n.pending[key] = true
+			}
+		}
 		if n.OnAck != nil {
 			n.OnAck(f)
 		}

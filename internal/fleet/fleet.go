@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"zcover/internal/chaos"
 	"zcover/internal/telemetry"
 	"zcover/internal/testbed"
 	"zcover/internal/zcover/fuzz"
@@ -61,6 +62,14 @@ type Job struct {
 	Seed int64
 	// Budget is the fuzzing duration (simulated time).
 	Budget time.Duration
+	// ChaosProfile, when non-empty, installs a fault injector on the job's
+	// testbed (chaos.ParseProfile syntax, e.g. "burst" or
+	// "lossy:corrupt=0.1"). Empty or "none" keeps the channel clean and the
+	// campaign byte-identical to pre-chaos builds.
+	ChaosProfile string
+	// ChaosSeed seeds the injector's fault streams, independent of Seed so
+	// the same campaign can be replayed under different impairment draws.
+	ChaosSeed int64
 }
 
 // Label returns Name, or a derived "device/strategy" label.
@@ -68,19 +77,38 @@ func (j Job) Label() string {
 	if j.Name != "" {
 		return j.Name
 	}
+	label := j.Device + "/" + string(j.Strategy)
 	if j.Baseline {
-		return j.Device + "/vfuzz"
+		label = j.Device + "/vfuzz"
 	}
-	return j.Device + "/" + string(j.Strategy)
+	if j.ChaosProfile != "" {
+		label += "+" + j.ChaosProfile
+	}
+	return label
 }
 
 // build assembles the job's private testbed. Every attempt gets a fresh
-// one, so campaigns share nothing and retries start clean.
+// one, so campaigns share nothing and retries start clean — including the
+// fault injector, whose burst/partition state is rebuilt from ChaosSeed.
 func (j Job) build() (*testbed.Testbed, error) {
+	var tb *testbed.Testbed
+	var err error
 	if j.Patched {
-		return testbed.NewPatched(j.Device, j.Seed)
+		tb, err = testbed.NewPatched(j.Device, j.Seed)
+	} else {
+		tb, err = testbed.New(j.Device, j.Seed)
 	}
-	return testbed.New(j.Device, j.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if j.ChaosProfile != "" {
+		p, perr := chaos.ParseProfile(j.ChaosProfile)
+		if perr != nil {
+			return nil, fmt.Errorf("fleet: job %s: %w", j.Label(), perr)
+		}
+		tb.ApplyChaos(p, j.ChaosSeed)
+	}
+	return tb, nil
 }
 
 // Runner executes one job attempt against a freshly built testbed and

@@ -128,11 +128,19 @@ func RunZCoverWith(tb *testbed.Testbed, strategy fuzz.Strategy, duration time.Du
 	}
 	queue := fuzz.BuildQueue(strategy, reg, listed, prioritized, seed)
 	span = opts.phaseSpan(tb, "fuzz", attrs)
-	engine, err := fuzz.New(d, fp, queue, mut, strategy, tb.Controller.Profile().Index, fuzz.Config{
+	fcfg := fuzz.Config{
 		Duration:  duration,
 		OnFinding: opts.OnFinding,
 		Recorder:  recorder,
-	})
+	}
+	if tb.Chaos != nil {
+		// Under chaos the engine grades findings against the injector's
+		// fault timeline (Confidence) and re-probes liveness before calling
+		// an outage, so impairment-induced silence is not a vulnerability.
+		fcfg.Impairment = tb.Chaos
+		fcfg.PingAttempts = 3
+	}
+	engine, err := fuzz.New(d, fp, queue, mut, strategy, tb.Controller.Profile().Index, fcfg)
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}

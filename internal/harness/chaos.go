@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"zcover/internal/chaos"
+	"zcover/internal/fleet"
+	"zcover/internal/oracle"
+	"zcover/internal/report"
+	"zcover/internal/zcover/fuzz"
+)
+
+// DefaultChaosProfiles is the impairment sweep the chaos campaign runs when
+// the caller does not pick profiles explicitly: a representative burst-loss
+// channel, a corrupting one, and a reordering/duplicating one.
+var DefaultChaosProfiles = []string{"burst", "noise", "jitter"}
+
+// ChaosRow is one (device, profile) cell of the detection-robustness table.
+type ChaosRow struct {
+	Index   string
+	Profile string
+	// CleanVulns is the unique findings of the unimpaired reference run.
+	CleanVulns int
+	// Confirmed and Suspect split the impaired run's findings by oracle
+	// grade: Suspect findings overlapped an injected fault and may be
+	// phantom outages rather than controller bugs.
+	Confirmed int
+	Suspect   int
+	// Delta is Confirmed − CleanVulns: how many confirmed detections the
+	// impairment cost (negative) or spuriously added (positive).
+	Delta int
+}
+
+// ChaosTable5 reruns the Table V ZCover campaigns on D1–D5 under each named
+// impairment profile and reports the detection-robustness delta against an
+// unimpaired reference run of the same seed. All campaigns — clean and
+// impaired — are scheduled through one fleet, so the table is reproducible
+// for any worker count; chaosSeed drives only the injectors' fault streams.
+func ChaosTable5(duration time.Duration, profiles []string, chaosSeed int64, cfg fleet.Config) (*report.Table, []ChaosRow, error) {
+	if duration <= 0 {
+		duration = 24 * time.Hour
+	}
+	if len(profiles) == 0 {
+		profiles = DefaultChaosProfiles
+	}
+	// Fail on a bad profile spec before burning campaign time.
+	for _, spec := range profiles {
+		if _, err := chaos.ParseProfile(spec); err != nil {
+			return nil, nil, fmt.Errorf("harness: chaos: %w", err)
+		}
+	}
+
+	devices := []string{"D1", "D2", "D3", "D4", "D5"}
+	var jobs []fleet.Job
+	for _, idx := range devices {
+		seed := deviceSeed(idx)
+		jobs = append(jobs, fleet.Job{
+			Name: "chaos/" + idx + "/clean", Device: idx,
+			Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration,
+		})
+		for _, spec := range profiles {
+			jobs = append(jobs, fleet.Job{
+				Name: "chaos/" + idx + "/" + spec, Device: idx,
+				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration,
+				ChaosProfile: spec, ChaosSeed: chaosSeed,
+			})
+		}
+	}
+	outs, err := runCampaigns(jobs, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	out := &report.Table{
+		Title:   "Table V under impairment: ZCover detection robustness per chaos profile",
+		Headers: []string{"ID", "Profile", "Clean #Vul", "Confirmed", "Suspect", "Delta"},
+		Notes: []string{
+			"Suspect findings overlapped an injected fault window; the oracle",
+			"grades them separately instead of counting impairment-induced",
+			"silence as a controller vulnerability.",
+		},
+	}
+	var rows []ChaosRow
+	stride := 1 + len(profiles)
+	for i, idx := range devices {
+		clean := outs[i*stride].Campaign
+		for p, spec := range profiles {
+			impaired := outs[i*stride+1+p].Campaign
+			row := ChaosRow{
+				Index:      idx,
+				Profile:    spec,
+				CleanVulns: len(clean.Fuzz.Findings),
+			}
+			for _, f := range impaired.Fuzz.Findings {
+				if f.Event.Confidence == oracle.ConfidenceSuspect {
+					row.Suspect++
+				} else {
+					row.Confirmed++
+				}
+			}
+			row.Delta = row.Confirmed - row.CleanVulns
+			rows = append(rows, row)
+			out.AddRow(idx, spec, strconv.Itoa(row.CleanVulns),
+				strconv.Itoa(row.Confirmed), strconv.Itoa(row.Suspect),
+				fmt.Sprintf("%+d", row.Delta))
+		}
+	}
+	return out, rows, nil
+}

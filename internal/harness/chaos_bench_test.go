@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"zcover/internal/fleet"
+	"zcover/internal/zcover/fuzz"
+)
+
+// BenchmarkChaosCampaign measures the impaired sweep: one clean and one
+// lossy-profile ZCover campaign per controller D1–D5 (10 jobs), at the
+// sequential and parallel worker counts. Comparing its simsec/s against
+// BenchmarkFleetParallelism quantifies the injector pipeline's overhead —
+// the interceptor runs on every delivery, plus the retransmission and
+// SPAN-recovery work the faults provoke.
+func BenchmarkChaosCampaign(b *testing.B) {
+	const budget = time.Hour
+	devices := []string{"D1", "D2", "D3", "D4", "D5"}
+	var jobs []fleet.Job
+	for _, idx := range devices {
+		seed := deviceSeed(idx)
+		jobs = append(jobs,
+			fleet.Job{Name: "bench-chaos/" + idx + "/clean", Device: idx,
+				Strategy: fuzz.StrategyFull, Seed: seed, Budget: budget},
+			fleet.Job{Name: "bench-chaos/" + idx + "/lossy", Device: idx,
+				Strategy: fuzz.StrategyFull, Seed: seed, Budget: budget,
+				ChaosProfile: "lossy", ChaosSeed: 99})
+	}
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var simSeconds float64
+			for i := 0; i < b.N; i++ {
+				results := fleet.Run(jobs, RunFleetJob, fleet.Config{Workers: workers})
+				if err := fleet.FirstError(results); err != nil {
+					b.Fatal(err)
+				}
+				simSeconds = 0
+				for _, r := range results {
+					if f := r.Value.Fuzz(); f != nil {
+						simSeconds += f.Elapsed.Seconds()
+					}
+				}
+			}
+			b.ReportMetric(simSeconds*float64(b.N)/b.Elapsed().Seconds(), "simsec/s")
+		})
+	}
+}

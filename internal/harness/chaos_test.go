@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"zcover/internal/fleet"
+	"zcover/internal/zcover/fuzz"
+)
+
+// TestChaosTable5ByteIdenticalAcrossWorkers asserts the chaos-campaign
+// acceptance criterion: for a fixed chaos seed the impairment sweep —
+// Gilbert–Elliott loss, corruption, duplication, jitter, retransmissions,
+// SPAN recovery, suspect grading and all — renders the same bytes from the
+// sequential fallback and the parallel pool. The two invocations also pin
+// run-to-run reproducibility: each builds every injector from scratch.
+func TestChaosTable5ByteIdenticalAcrossWorkers(t *testing.T) {
+	const chaosSeed = 99
+	profiles := []string{"lossy"}
+	seqTbl, seqRows, err := ChaosTable5(fleetTestBudget, profiles, chaosSeed, fleet.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parTbl, parRows, err := ChaosTable5(fleetTestBudget, profiles, chaosSeed, fleet.Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqTbl.String() != parTbl.String() {
+		t.Errorf("chaos table differs between workers=1 and workers=8:\n--- seq ---\n%s\n--- par ---\n%s",
+			seqTbl.String(), parTbl.String())
+	}
+	if !reflect.DeepEqual(seqRows, parRows) {
+		t.Errorf("chaos rows differ between worker counts: %+v vs %+v", seqRows, parRows)
+	}
+}
+
+// TestChaosNoneProfileIsCleanRun guards the clean-path invariant from the
+// job-spec side: a job carrying the "none" profile (enabled but inert) must
+// produce byte-for-byte the findings of a job with no chaos at all, because
+// ApplyChaos refuses to install an injector that cannot inject.
+func TestChaosNoneProfileIsCleanRun(t *testing.T) {
+	seed := deviceSeed("D1")
+	outs, err := runCampaigns([]fleet.Job{
+		{Name: "clean", Device: "D1", Strategy: fuzz.StrategyFull, Seed: seed, Budget: fleetTestBudget},
+		{Name: "none", Device: "D1", Strategy: fuzz.StrategyFull, Seed: seed, Budget: fleetTestBudget,
+			ChaosProfile: "none", ChaosSeed: 7},
+	}, fleet.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, none := outs[0].Campaign.Fuzz, outs[1].Campaign.Fuzz
+	if !reflect.DeepEqual(clean.Findings, none.Findings) {
+		t.Errorf("\"none\" profile changed the campaign: %d vs %d findings",
+			len(none.Findings), len(clean.Findings))
+	}
+	if clean.PacketsSent != none.PacketsSent {
+		t.Errorf("\"none\" profile changed packet count: %d vs %d", none.PacketsSent, clean.PacketsSent)
+	}
+}
+
+// TestChaosBadProfileFailsFast: an invalid profile spec must surface as a
+// job error before any campaign runs, not as a late panic in a worker.
+func TestChaosBadProfileFailsFast(t *testing.T) {
+	if _, _, err := ChaosTable5(fleetTestBudget, []string{"burst:badloss=2.0"}, 1, fleet.Config{Workers: 1}); err == nil {
+		t.Fatal("out-of-range profile override accepted")
+	}
+	if _, _, err := ChaosTable5(fleetTestBudget, []string{"no-such-profile"}, 1, fleet.Config{Workers: 1}); err == nil {
+		t.Fatal("unknown profile name accepted")
+	}
+}
+
+// TestChaosImpairedCampaignGradesFindings runs one impaired campaign and
+// checks the wiring end to end: the injector actually fired, and every
+// finding carries a well-formed confidence grade.
+func TestChaosImpairedCampaignGradesFindings(t *testing.T) {
+	outs, err := runCampaigns([]fleet.Job{
+		{Name: "stress", Device: "D1", Strategy: fuzz.StrategyFull, Seed: deviceSeed("D1"),
+			Budget: fleetTestBudget, ChaosProfile: "lossy", ChaosSeed: 3},
+	}, fleet.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := outs[0].Campaign.Fuzz
+	if len(res.Findings) == 0 {
+		t.Fatal("impaired campaign found nothing; resilience too weak for the lossy profile")
+	}
+	for _, f := range res.Findings {
+		if s := f.Event.Confidence.String(); s != "confirmed" && s != "suspect" {
+			t.Errorf("finding %s has malformed confidence %q", f.Signature, s)
+		}
+	}
+}

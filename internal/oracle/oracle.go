@@ -89,6 +89,34 @@ func (k Kind) String() string {
 	}
 }
 
+// Confidence grades how certain the oracle is that an anomaly reflects a
+// real implementation flaw rather than channel impairment. The zero value
+// is Confirmed, so events from unimpaired campaigns are unchanged.
+type Confidence int
+
+// Confidence grades.
+const (
+	// ConfidenceConfirmed: the anomaly was observed on a clean channel (or
+	// the observation window contained no injected faults).
+	ConfidenceConfirmed Confidence = iota
+	// ConfidenceSuspect: injected channel faults overlapped the
+	// observation window, so the silence or misbehaviour may be an
+	// artefact of impairment rather than a controller bug.
+	ConfidenceSuspect
+)
+
+// String implements fmt.Stringer.
+func (c Confidence) String() string {
+	switch c {
+	case ConfidenceConfirmed:
+		return "confirmed"
+	case ConfidenceSuspect:
+		return "suspect"
+	default:
+		return "Confidence(" + strconv.Itoa(int(c)) + ")"
+	}
+}
+
 // Event is one observed anomaly.
 type Event struct {
 	// At is the simulated instant the anomaly was observed.
@@ -107,6 +135,10 @@ type Event struct {
 	Duration time.Duration
 	// Detail is a human-readable description.
 	Detail string
+	// Confidence grades the observation; it is not part of Signature, so
+	// a suspect and a confirmed sighting of the same effect deduplicate to
+	// one bug.
+	Confidence Confidence
 }
 
 // Signature returns the deduplication key used to count unique

@@ -47,6 +47,50 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzFrameDecode is the checksum-mode-aware frame codec target: the fuzzer
+// picks the raw bytes and the checksum mode together, so coverage reaches
+// both the 8-bit XOR and CRC-16 validation paths within one corpus. The
+// invariants are those of FuzzDecode: re-encoding is a normal form and the
+// semantic fields survive it.
+func FuzzFrameDecode(f *testing.F) {
+	frame := NewDataFrame(0xCB95A34A, 0x0F, 0x01, []byte{0x20, 0x01, 0xFF})
+	f.Add(frame.MustEncode(), false)
+	crc := *frame
+	crc.Checksum = ChecksumCRC16
+	f.Add(crc.MustEncode(), true)
+	f.Add([]byte{}, true)
+	f.Add(make([]byte, MaxFrameSize), false)
+	f.Fuzz(func(t *testing.T, raw []byte, crc16 bool) {
+		mode := ChecksumCS8
+		if crc16 {
+			mode = ChecksumCRC16
+		}
+		frame, err := Decode(raw, mode)
+		if err != nil {
+			return
+		}
+		out, err := frame.Encode()
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		again, err := Decode(out, mode)
+		if err != nil {
+			t.Fatalf("normal form does not decode: %v", err)
+		}
+		out2, err := again.Encode()
+		if err != nil {
+			t.Fatalf("normal form does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("normalisation not idempotent: % X vs % X", out, out2)
+		}
+		if again.Home != frame.Home || again.Src != frame.Src ||
+			again.Dst != frame.Dst || !bytes.Equal(again.Payload, frame.Payload) {
+			t.Fatal("semantic fields lost in normalisation")
+		}
+	})
+}
+
 func FuzzParseRoutedPayload(f *testing.F) {
 	seed, _ := EncodeRoutedPayload(RouteHeader{Repeaters: []NodeID{3}}, []byte{0x20, 0x01})
 	f.Add(seed)

@@ -13,6 +13,7 @@
 package radio
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -94,19 +95,41 @@ type Capture struct {
 	Raw []byte
 }
 
+// Delivery is one frame instance an interceptor wants delivered to a
+// receiver: the (possibly rewritten) bytes plus an extra delay beyond the
+// frame's airtime. A zero delay delivers inline, exactly like the
+// unintercepted path.
+type Delivery struct {
+	// Delay is added on top of the airtime before the frame arrives.
+	Delay time.Duration
+	// Raw is the frame as the receiver will see it. It may alias the
+	// interceptor's input slice.
+	Raw []byte
+}
+
+// InterceptFunc sees every frame en route from one transceiver to another
+// (after the medium's own loss/noise impairments) and decides what the
+// receiver observes: return nil to drop the frame, one Delivery to pass or
+// rewrite it, or several to duplicate it. The input slice is a private
+// copy; the interceptor may mutate or retain it. Interceptors run outside
+// the medium lock and must be safe for concurrent use.
+type InterceptFunc func(from, to string, raw []byte) []Delivery
+
 // Medium is the shared simulated air. Construct with NewMedium. Medium is
 // safe for concurrent use, though the simulation driver is single-threaded.
 type Medium struct {
 	clock *vtime.SimClock
 
-	mu       sync.Mutex
-	nodes    []*Transceiver
-	lossP    float64
-	noiseP   float64
-	rng      *rand.Rand
-	txLog    int
-	rangeLim float64
-	recorder *telemetry.FlightRecorder
+	mu        sync.Mutex
+	nodes     []*Transceiver
+	lossP     float64
+	noiseP    float64
+	impSeed   int64
+	streams   map[string]*rand.Rand
+	intercept InterceptFunc
+	txLog     int
+	rangeLim  float64
+	recorder  *telemetry.FlightRecorder
 }
 
 // NewMedium creates an empty air over the given simulated clock.
@@ -114,7 +137,7 @@ func NewMedium(clock *vtime.SimClock) *Medium {
 	if clock == nil {
 		panic("radio: NewMedium requires a clock")
 	}
-	return &Medium{clock: clock, rng: rand.New(rand.NewSource(1))}
+	return &Medium{clock: clock, impSeed: 1}
 }
 
 // Clock exposes the medium's simulated clock.
@@ -122,12 +145,48 @@ func (m *Medium) Clock() *vtime.SimClock { return m.clock }
 
 // SetImpairments configures random frame loss and single-byte noise
 // corruption probabilities (both in [0,1]) with a deterministic seed.
-// Impairments default to zero.
+// Impairments default to zero. Each receiver draws from its own stream
+// seeded from (seed, receiver name), so one transceiver's packet outcomes
+// are independent of which other transceivers are attached and of target
+// iteration order.
 func (m *Medium) SetImpairments(lossP, noiseP float64, seed int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.lossP, m.noiseP = lossP, noiseP
-	m.rng = rand.New(rand.NewSource(seed))
+	m.impSeed = seed
+	m.streams = nil
+}
+
+// SetInterceptor installs a frame interceptor pipeline stage (nil removes
+// it). The chaos fault injector composes onto the medium through this hook.
+func (m *Medium) SetInterceptor(fn InterceptFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.intercept = fn
+}
+
+// stream returns the impairment RNG for the named receiver, creating it on
+// first use. Callers hold m.mu.
+func (m *Medium) stream(name string) *rand.Rand {
+	s, ok := m.streams[name]
+	if !ok {
+		if m.streams == nil {
+			m.streams = make(map[string]*rand.Rand)
+		}
+		s = rand.New(rand.NewSource(m.impSeed ^ int64(fnv64a(name))))
+		m.streams[name] = s
+	}
+	return s
+}
+
+// fnv64a is the FNV-1a hash, used to derive per-receiver seeds.
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
 }
 
 // SetRange enables the geometric propagation model: transmissions reach
@@ -182,19 +241,32 @@ func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 		}
 	}
 	lossP, noiseP := m.lossP, m.noiseP
-	var lossDraws []float64
-	var noiseDraws []float64
+	// Each receiver's loss/noise outcomes come from its own seeded stream,
+	// drawn in a fixed per-frame order (loss, noise, then corruption
+	// position only when corrupting), so attaching or detaching other
+	// transceivers never shifts an existing receiver's draw sequence.
+	type impairPlan struct {
+		lost     bool
+		corrupt  bool
+		noiseIdx int
+		noiseBit byte
+	}
+	var plans []impairPlan
 	if lossP > 0 || noiseP > 0 {
-		for range targets {
-			lossDraws = append(lossDraws, m.rng.Float64())
-			noiseDraws = append(noiseDraws, m.rng.Float64())
+		plans = make([]impairPlan, len(targets))
+		for i, t := range targets {
+			s := m.stream(t.name)
+			p := &plans[i]
+			p.lost = lossP > 0 && s.Float64() < lossP
+			noisy := noiseP > 0 && s.Float64() < noiseP
+			if noisy && !p.lost && len(raw) > 0 {
+				p.corrupt = true
+				p.noiseIdx = s.Intn(len(raw))
+				p.noiseBit = 1 << s.Intn(8)
+			}
 		}
 	}
-	noiseIdx, noiseBit := 0, byte(0)
-	if noiseP > 0 && len(raw) > 0 {
-		noiseIdx = m.rng.Intn(len(raw))
-		noiseBit = 1 << m.rng.Intn(8)
-	}
+	intercept := m.intercept
 	recorder := m.recorder
 	m.mu.Unlock()
 
@@ -205,17 +277,38 @@ func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 	at := m.clock.Now().Add(airtime)
 	lost, corrupted := 0, 0
 	for i, t := range targets {
-		if lossP > 0 && lossDraws[i] < lossP {
+		if plans != nil && plans[i].lost {
 			lost++
 			continue
 		}
 		frame := make([]byte, len(raw))
 		copy(frame, raw)
-		if noiseP > 0 && len(frame) > 0 && noiseDraws[i] < noiseP {
-			frame[noiseIdx] ^= noiseBit
+		if plans != nil && plans[i].corrupt {
+			frame[plans[i].noiseIdx] ^= plans[i].noiseBit
 			corrupted++
 		}
-		t.deliver(Capture{At: at, Raw: frame})
+		if intercept == nil {
+			t.deliver(Capture{At: at, Raw: frame})
+			continue
+		}
+		deliveries := intercept(from.name, t.name, frame)
+		if len(deliveries) == 0 {
+			lost++
+			continue
+		}
+		for _, d := range deliveries {
+			if !bytes.Equal(d.Raw, frame) {
+				corrupted++
+			}
+			if d.Delay <= 0 {
+				t.deliver(Capture{At: at, Raw: d.Raw})
+				continue
+			}
+			t, d := t, d
+			m.clock.Schedule(airtime+d.Delay, func() {
+				t.deliver(Capture{At: at.Add(d.Delay), Raw: d.Raw})
+			})
+		}
 	}
 	mLost.Add(int64(lost))
 	mCorrupted.Add(int64(corrupted))

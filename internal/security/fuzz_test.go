@@ -1,0 +1,112 @@
+package security
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Native fuzz targets for the security transports. Each iteration rebuilds
+// its keys and sessions from fixed bytes, so runs are deterministic and a
+// crasher reproduces with no state from earlier inputs.
+
+// fuzzS0Keys derives a fixed S0 key pair for the fuzz targets.
+func fuzzS0Keys() S0Keys {
+	keys, err := DeriveS0Keys(bytes.Repeat([]byte{0x42}, KeySize))
+	if err != nil {
+		panic(err)
+	}
+	return keys
+}
+
+// FuzzS0Decrypt feeds arbitrary payloads to the S0 decapsulator under a
+// fixed key and nonce. A successful decapsulation must be authentic: S0
+// encapsulation is deterministic given the nonces, so re-encapsulating the
+// recovered plaintext with the sender nonce embedded in the payload must
+// reproduce the input byte-for-byte. Everything else must error, not panic.
+func FuzzS0Decrypt(f *testing.F) {
+	keys := fuzzS0Keys()
+	sn := bytes.Repeat([]byte{0x01}, S0NonceSize)
+	rn := bytes.Repeat([]byte{0x02}, S0NonceSize)
+	header := []byte{0x81, 0x02, 0x01, 0x0D}
+	genuine, err := S0Encapsulate(keys, sn, rn, header, []byte{0x25, 0x01, 0xFF})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine)
+	f.Add([]byte{0x98, 0x81})
+	f.Add(bytes.Repeat([]byte{0x00}, 2+S0NonceSize+1+S0MACSize))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		pt, err := S0Decapsulate(keys, rn, header, payload)
+		if err != nil {
+			return
+		}
+		embedded := payload[2 : 2+S0NonceSize]
+		again, err := S0Encapsulate(keys, embedded, rn, header, pt)
+		if err != nil {
+			t.Fatalf("accepted plaintext does not re-encapsulate: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatalf("accepted payload is not a genuine encapsulation:\n got % X\nwant % X", payload, again)
+		}
+	})
+}
+
+// fuzzS2Sessions builds a deterministic fresh session pair (same key and
+// entropy every call) so each fuzz iteration starts from pristine SPAN state.
+func fuzzS2Sessions() (*Session, *Session) {
+	key := bytes.Repeat([]byte{0x24}, KeySize)
+	eiA := bytes.Repeat([]byte{0xA5}, EntropySize)
+	eiB := bytes.Repeat([]byte{0x5A}, EntropySize)
+	a, err := NewSession(key, eiA, eiB)
+	if err != nil {
+		panic(err)
+	}
+	b, err := NewSession(key, eiA, eiB)
+	if err != nil {
+		panic(err)
+	}
+	return a, b
+}
+
+// FuzzS2Decrypt throws arbitrary encapsulations and AADs at a fresh S2
+// receiver. The decapsulator must never panic, and — whatever the garbage
+// did — the session must stay usable: a genuine message encapsulated
+// afterwards still authenticates and decrypts. This pins down the SPAN
+// recovery path too (the receiver probes forward nonces on auth failure).
+func FuzzS2Decrypt(f *testing.F) {
+	a, _ := fuzzS2Sessions()
+	aad := []byte{0xCB, 0x95, 0xA3, 0x4A, 0x01, 0x02}
+	genuine, err := a.Encapsulate(FlowAtoB, aad, []byte{0x62, 0x01, 0xFF})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(genuine, aad)
+	f.Add([]byte{0x9F, 0x03, 0x00, 0x00}, aad)
+	f.Add(bytes.Repeat([]byte{0x9F}, 24), []byte{})
+	f.Fuzz(func(t *testing.T, payload, fuzzAAD []byte) {
+		sender, receiver := fuzzS2Sessions()
+		receiver.SetRecoveryWindow(8)
+		if _, err := receiver.Decapsulate(FlowAtoB, fuzzAAD, payload); err == nil {
+			// The input authenticated, so it can only be the genuine first
+			// message of this deterministic session; the receiver consumed
+			// it. Burn the sender's copy so the liveness check below is not
+			// a replay of the same sequence number.
+			if _, err := sender.Encapsulate(FlowAtoB, aad, []byte{0x00}); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// The attack must not have wedged the session.
+		encap, err := sender.Encapsulate(FlowAtoB, aad, []byte{0x62, 0x01, 0xFF})
+		if err != nil {
+			t.Fatalf("encapsulate after fuzz input: %v", err)
+		}
+		got, err := receiver.Decapsulate(FlowAtoB, aad, encap)
+		if err != nil {
+			t.Fatalf("genuine message rejected after fuzz input % X: %v", payload, err)
+		}
+		if !bytes.Equal(got, []byte{0x62, 0x01, 0xFF}) {
+			t.Fatalf("genuine message corrupted after fuzz input: % X", got)
+		}
+	})
+}

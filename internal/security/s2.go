@@ -16,6 +16,7 @@ var (
 	mS2Decrypt  = telemetry.Default().Counter("security_s2_decrypt_total")
 	mS2AuthFail = telemetry.Default().Counter("security_s2_auth_fail_total")
 	mS2Desync   = telemetry.Default().Counter("security_s2_desync_total")
+	mS2Resync   = telemetry.Default().Counter("security_s2_resync_total")
 )
 
 // S2 key-exchange and encapsulation. The flow mirrors the Security 2
@@ -124,7 +125,18 @@ type Session struct {
 	haveSeq  map[Flow]bool
 	nextSeqA byte // sender sequence counter for FlowAtoB
 	nextSeqB byte
+	// recoveryWindow, when positive, lets Decapsulate search this many
+	// SPAN counters ahead after an authentication failure — the local
+	// equivalent of the SOS nonce-report exchange a receiver performs when
+	// frame loss has desynchronised the nonce stream.
+	recoveryWindow int
 }
+
+// SetRecoveryWindow enables SPAN desync recovery: after an authentication
+// failure, Decapsulate retries up to window counters ahead of the expected
+// one and, on success, fast-forwards the flow to resynchronise. Zero (the
+// default) keeps the strict single-nonce behaviour.
+func (s *Session) SetRecoveryWindow(window int) { s.recoveryWindow = window }
 
 // NewSession derives a session from the 16-byte network key and the two
 // SPAN entropy inputs (sender EI from the encapsulation extension, receiver
@@ -209,6 +221,21 @@ func (s *Session) Decapsulate(flow Flow, aad, payload []byte) ([]byte, error) {
 	fullAAD := append(append([]byte{}, aad...), seq, extFlags)
 	pt, err := aead.Open(nil, nonce, payload[4:], fullAAD)
 	if err != nil {
+		// A lost frame leaves the sender's counter ahead of ours, so every
+		// later frame fails against the expected nonce. With a recovery
+		// window, probe forward counters; a hit means the message is
+		// genuine and the flow fast-forwards past the gap.
+		for skip := 1; skip <= s.recoveryWindow; skip++ {
+			nonce = s.nonceFor(flow, n+uint32(skip))
+			if pt, err2 := aead.Open(nil, nonce, payload[4:], fullAAD); err2 == nil {
+				s.ctr[flow] = n + uint32(skip) + 1
+				s.lastSeq[flow] = seq
+				s.haveSeq[flow] = true
+				mS2Resync.Inc()
+				mS2Decrypt.Inc()
+				return pt, nil
+			}
+		}
 		mS2AuthFail.Inc()
 		return nil, fmt.Errorf("%w: %v", ErrS2Auth, err)
 	}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"zcover/internal/chaos"
 	"zcover/internal/cmdclass"
 	"zcover/internal/controller"
 	"zcover/internal/device"
@@ -45,6 +46,9 @@ type Testbed struct {
 	Switch *device.BinarySwitch
 	// Region is the RF profile in use.
 	Region radio.Region
+	// Chaos is the fault injector installed by ApplyChaos; nil on a clean
+	// testbed.
+	Chaos *chaos.Injector
 }
 
 // New assembles a testbed around the controller profile with the given
@@ -162,6 +166,53 @@ func (tb *Testbed) ScheduleTraffic(n int, interval time.Duration) {
 		tb.Clock.Schedule(time.Duration(i)*interval+interval/2, func() {
 			_ = tb.Switch.ReportStatus()
 		})
+	}
+}
+
+// Resilience parameters armed alongside chaos injection. The retry chain
+// (4 attempts at 50/100/200 ms) rides out the burst profiles' bad-state
+// dwell; the SPAN window covers the S2 messages a whole lost burst can
+// take with it.
+const (
+	retryAttempts    = 4
+	retryBackoff     = 50 * time.Millisecond
+	retryMaxBackoff  = 400 * time.Millisecond
+	s2RecoveryWindow = 8
+)
+
+// ApplyChaos installs a fault injector for the given profile and seed on
+// the testbed's medium, anchored at the current simulated time, and arms
+// the resilience features an impaired channel requires. Profiles that
+// cannot inject any fault ("none") are a no-op, keeping the clean path
+// byte-identical.
+func (tb *Testbed) ApplyChaos(p chaos.Profile, seed int64) {
+	if !p.Enabled() {
+		return
+	}
+	inj := chaos.New(p, seed)
+	inj.Attach(tb.Medium)
+	tb.Chaos = inj
+	tb.EnableResilience()
+}
+
+// EnableResilience arms ACK-timeout retransmission on every testbed node
+// and SPAN desync recovery on both ends of the lock's S2 session. Off by
+// default: the clean deterministic campaigns must not change; ApplyChaos
+// calls it for impaired ones.
+func (tb *Testbed) EnableResilience() {
+	rp := &device.RetryPolicy{
+		MaxAttempts: retryAttempts,
+		Backoff:     retryBackoff,
+		MaxBackoff:  retryMaxBackoff,
+	}
+	tb.Controller.Node().SetRetry(rp)
+	tb.Lock.Node().SetRetry(rp)
+	tb.Switch.Node().SetRetry(rp)
+	if s, ok := tb.Controller.Session(LockID); ok {
+		s.SetRecoveryWindow(s2RecoveryWindow)
+	}
+	if s := tb.Lock.Session(); s != nil {
+		s.SetRecoveryWindow(s2RecoveryWindow)
 	}
 }
 

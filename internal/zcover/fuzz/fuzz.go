@@ -67,6 +67,22 @@ type Config struct {
 	// campaign's radio medium; each new finding carries a snapshot of it
 	// (the surrounding frames) as its replayable post-mortem trace.
 	Recorder *telemetry.FlightRecorder
+	// Impairment, if set, tells the engine whether the channel injected
+	// faults during an observation window. Findings whose window overlaps
+	// injected faults are logged with suspect (rather than confirmed)
+	// confidence — impairment-induced silence must not masquerade as a
+	// vulnerability. The chaos injector implements this.
+	Impairment ImpairmentMonitor
+	// PingAttempts is how many NOP probes a single liveness check may send
+	// before declaring the target unresponsive (>1 tolerates lossy
+	// channels). Zero means one probe, the clean-channel behaviour.
+	PingAttempts int
+}
+
+// ImpairmentMonitor reports whether channel faults were injected at or
+// after a given simulated instant.
+type ImpairmentMonitor interface {
+	ImpairedSince(t time.Time) bool
 }
 
 // withDefaults fills unset fields.
@@ -88,6 +104,9 @@ func (c Config) withDefaults(queueLen int) Config {
 	}
 	if c.SamplePeriod <= 0 {
 		c.SamplePeriod = 20 * time.Second
+	}
+	if c.PingAttempts <= 0 {
+		c.PingAttempts = 1
 	}
 	return c
 }
@@ -300,7 +319,7 @@ func (e *Engine) oneTest(stream *mutate.Stream) (newFinding bool, recovery time.
 	// (The MAC ack is sent before the application layer executes, so a
 	// frame that hangs the controller still gets acked — every new finding
 	// is therefore liveness-checked explicitly.)
-	if (!ex.Acked || newFinding) && !e.dongle.Ping(e.fp.Home, scan.AttackerNodeID, e.fp.Controller) {
+	if (!ex.Acked || newFinding) && !e.ping() {
 		if len(payload) >= 2 {
 			e.crashedCmds[[2]byte{payload[0], payload[1]}] = true
 		}
@@ -340,6 +359,10 @@ func (e *Engine) drainEvents(res *Result, payload []byte, elapsed time.Duration,
 		if lat := ev.At.Sub(txAt); lat >= 0 {
 			mDetectLatencyMS.Observe(float64(lat) / float64(time.Millisecond))
 		}
+		if e.cfg.Impairment != nil && ev.Confidence == oracle.ConfidenceConfirmed &&
+			e.cfg.Impairment.ImpairedSince(txAt) {
+			ev.Confidence = oracle.ConfidenceSuspect
+		}
 		finding := Finding{
 			Signature:      sig,
 			Event:          ev,
@@ -362,12 +385,23 @@ func (e *Engine) drainEvents(res *Result, payload []byte, elapsed time.Duration,
 	return found
 }
 
+// ping is one liveness check: up to PingAttempts NOP probes, so a single
+// lost probe on an impaired channel does not read as a controller hang.
+func (e *Engine) ping() bool {
+	for i := 0; i < e.cfg.PingAttempts; i++ {
+		if e.dongle.Ping(e.fp.Home, scan.AttackerNodeID, e.fp.Controller) {
+			return true
+		}
+	}
+	return false
+}
+
 // awaitRecovery pings until the target answers again or the campaign
 // budget runs out — the "controller hangs" handling of the feedback loop.
 func (e *Engine) awaitRecovery(start time.Time) {
 	for e.clock.Now().Sub(start) < e.cfg.Duration {
 		e.clock.Advance(e.cfg.PingRetry)
-		if e.dongle.Ping(e.fp.Home, scan.AttackerNodeID, e.fp.Controller) {
+		if e.ping() {
 			return
 		}
 	}

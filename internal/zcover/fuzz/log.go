@@ -8,6 +8,7 @@ import (
 	"io"
 	"time"
 
+	"zcover/internal/oracle"
 	"zcover/internal/telemetry"
 )
 
@@ -33,6 +34,10 @@ type LogEntry struct {
 	DurationSec float64 `json:"duration_sec"`
 	// Detail is the oracle's description.
 	Detail string `json:"detail"`
+	// Confidence is the oracle's grade when the finding was observed under
+	// channel impairment ("suspect"); omitted for confirmed findings, so
+	// clean-campaign logs are byte-identical to older versions.
+	Confidence string `json:"confidence,omitempty"`
 	// Trace is the flight-recorder snapshot at discovery: the last frames
 	// on the air up to and including the trigger. Present only when the
 	// campaign ran with a flight recorder attached.
@@ -114,6 +119,9 @@ func WriteLog(w io.Writer, res *Result) error {
 			DurationSec: f.Event.Duration.Seconds(),
 			Detail:      f.Event.Detail,
 			Trace:       traceFrames(f.Trace),
+		}
+		if f.Event.Confidence != oracle.ConfidenceConfirmed {
+			entry.Confidence = f.Event.Confidence.String()
 		}
 		if err := enc.Encode(entry); err != nil {
 			return fmt.Errorf("fuzz: writing bug log: %w", err)

@@ -1,0 +1,58 @@
+package fuzz
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"zcover/internal/oracle"
+)
+
+// FuzzReadLog feeds arbitrary bytes to the bug-log reader. Accepted logs
+// must survive a re-marshal round trip: serialising the parsed entries and
+// reading them back yields the same entries, so nothing is silently dropped
+// or reinterpreted between a write and a later replay.
+func FuzzReadLog(f *testing.F) {
+	var buf bytes.Buffer
+	res := &Result{
+		Strategy: StrategyFull,
+		Device:   "D1",
+		Findings: []Finding{{
+			Signature:      "host-crash/0x9F/0x01",
+			TriggerPayload: []byte{0x9F, 0x01, 0xFE},
+			Packets:        338,
+			Elapsed:        7 * time.Minute,
+			Event:          oracle.Event{Kind: oracle.HostCrash, Class: 0x9F, Cmd: 0x01, Confidence: oracle.ConfidenceSuspect},
+		}},
+	}
+	if err := WriteLog(&buf, res); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("{}\n{}"))
+	f.Add([]byte(`{"signature":"x","cmdcl":1}`))
+	f.Add([]byte("\n\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, err := ReadLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		enc := json.NewEncoder(&out)
+		for _, e := range entries {
+			if err := enc.Encode(e); err != nil {
+				t.Fatalf("accepted entry does not re-marshal: %v", err)
+			}
+		}
+		again, err := ReadLog(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("re-marshalled log does not parse: %v", err)
+		}
+		if !reflect.DeepEqual(entries, again) {
+			t.Fatalf("log round trip mismatch:\n got %#v\nwant %#v", again, entries)
+		}
+	})
+}

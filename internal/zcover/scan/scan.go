@@ -114,7 +114,16 @@ func Active(d *dongle.Dongle, net Network) (Fingerprint, error) {
 	}
 
 	// Step 1: dynamic device interrogation — confirm the target is alive.
-	if !d.Ping(net.Home, AttackerNodeID, net.Controller) {
+	// One probe suffices on a clean channel, and is all that is sent there;
+	// an impaired air can eat either direction of the exchange, so the
+	// scanner re-probes before concluding the target is down, like the NIF
+	// loop below.
+	const pingRetries = 4
+	alive := false
+	for attempt := 0; attempt < pingRetries && !alive; attempt++ {
+		alive = d.Ping(net.Home, AttackerNodeID, net.Controller)
+	}
+	if !alive {
 		return fp, fmt.Errorf("scan: controller %s of network %s did not answer liveness probe",
 			net.Controller, net.Home)
 	}

@@ -14,8 +14,8 @@ out="${BENCH_OUT:-BENCH_fleet.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench BenchmarkFleetParallelism -benchmem (benchtime $benchtime) =="
-go test ./internal/harness -run '^$' -bench BenchmarkFleetParallelism \
+echo "== go test -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign' -benchmem (benchtime $benchtime) =="
+go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign' \
     -benchmem -benchtime "$benchtime" | tee "$raw"
 
 # Benchmark lines look like:

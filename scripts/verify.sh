@@ -4,14 +4,23 @@
 #
 #   ./scripts/verify.sh          # short suite (fast)
 #   ./scripts/verify.sh -full    # include the 24h-budget campaign tests
+#   ./scripts/verify.sh -fuzz    # also run the fuzz-smoke burst afterwards
 set -eu
 
 cd "$(dirname "$0")/.."
 
 short="-short"
-if [ "${1:-}" = "-full" ]; then
-    short=""
-fi
+fuzz=""
+for arg in "$@"; do
+    case "$arg" in
+    -full) short="" ;;
+    -fuzz) fuzz="yes" ;;
+    *)
+        echo "verify.sh: unknown flag $arg (want -full and/or -fuzz)" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
@@ -34,7 +43,48 @@ fi
 echo "== go build =="
 go build ./...
 
-echo "== go test -race $short =="
-go test -race $short ./...
+echo "== go test -race -cover $short =="
+cover_raw="$(mktemp)"
+trap 'rm -f "$cover_raw"' EXIT
+go test -race -cover $short ./... | tee "$cover_raw"
+
+echo "== coverage baseline =="
+baseline="scripts/coverage_baseline.txt"
+if [ -f "$baseline" ]; then
+    # Fail when any baselined package's statement coverage falls more than
+    # two points below the committed figure. New packages are not gated
+    # until scripts/coverage_baseline.sh records them.
+    awk -v drop=2.0 '
+    NR == FNR { base[$1] = $2; next }
+    $1 == "ok" {
+        for (i = 1; i <= NF; i++) if ($i == "coverage:") {
+            pct = $(i+1)
+            sub(/%/, "", pct)
+            if (pct ~ /^[0-9.]+$/) cov[$2] = pct
+        }
+    }
+    END {
+        bad = 0
+        for (pkg in base) {
+            if (!(pkg in cov)) {
+                printf "coverage: baselined package %s missing from test run\n", pkg
+                bad = 1
+            } else if (cov[pkg] + drop < base[pkg]) {
+                printf "coverage: %s dropped %.1f%% -> %.1f%% (allowed slack %.1f pts)\n",
+                    pkg, base[pkg], cov[pkg], drop
+                bad = 1
+            }
+        }
+        if (!bad) print "coverage: all packages within " drop " pts of baseline"
+        exit bad
+    }' "$baseline" "$cover_raw"
+else
+    echo "no $baseline; run scripts/coverage_baseline.sh to create one"
+fi
+
+if [ -n "$fuzz" ]; then
+    echo "== fuzz smoke =="
+    ./scripts/fuzz_smoke.sh
+fi
 
 echo "verify: OK"

@@ -32,6 +32,7 @@ package zcover
 import (
 	"time"
 
+	"zcover/internal/chaos"
 	"zcover/internal/fleet"
 	"zcover/internal/harness"
 	"zcover/internal/oracle"
@@ -78,7 +79,39 @@ type (
 	Options = harness.Options
 	// TraceFrame is one serialised flight-recorder frame in a bug log.
 	TraceFrame = fuzz.TraceFrame
+	// ChaosProfile is one named channel-impairment configuration for the
+	// deterministic fault injector (burst loss, corruption, duplication,
+	// jitter, partitions).
+	ChaosProfile = chaos.Profile
+	// ChaosInjector is the seeded fault injector a profile instantiates;
+	// Testbed.ApplyChaos installs one on the simulated air.
+	ChaosInjector = chaos.Injector
+	// ChaosStats counts the faults an injector has applied, per kind.
+	ChaosStats = chaos.Stats
+	// ChaosRow is one (device, profile) cell of the chaos robustness table.
+	ChaosRow = harness.ChaosRow
+	// Confidence is the oracle's grade for a finding: confirmed, or suspect
+	// when it overlapped an injected channel fault.
+	Confidence = oracle.Confidence
 )
+
+// Oracle confidence grades.
+const (
+	// ConfidenceConfirmed marks a finding observed on a clean channel.
+	ConfidenceConfirmed = oracle.ConfidenceConfirmed
+	// ConfidenceSuspect marks a finding that overlapped channel impairment.
+	ConfidenceSuspect = oracle.ConfidenceSuspect
+)
+
+// ParseChaosProfile resolves a profile spec — a builtin name ("burst",
+// "noise", "jitter", "partition", "lossy", "stress", "none") optionally
+// followed by overrides ("burst:badloss=0.7,partition=lock@1h/5m").
+func ParseChaosProfile(spec string) (ChaosProfile, error) {
+	return chaos.ParseProfile(spec)
+}
+
+// ChaosProfiles lists the builtin profile names.
+func ChaosProfiles() []string { return chaos.Profiles() }
 
 // Fuzzing strategies (the three configurations of the paper's ablation).
 const (
@@ -180,4 +213,7 @@ var (
 	RemediationFleet = harness.RemediationFleet
 	// RunTrialsFleet repeats full campaigns against one device across a pool.
 	RunTrialsFleet = harness.RunTrialsFleet
+	// ChaosTable5 reruns the Table V ZCover campaigns under impairment
+	// profiles and reports detection-robustness deltas.
+	ChaosTable5 = harness.ChaosTable5
 )
