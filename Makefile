@@ -1,7 +1,7 @@
 # Tier-1 gate and convenience targets. `make verify` must pass before
 # every commit; CI runs the same script.
 
-.PHONY: verify verify-full test bench build fuzz-smoke
+.PHONY: verify verify-full test bench bench-compare build fuzz-smoke
 
 verify:
 	./scripts/verify.sh
@@ -20,6 +20,12 @@ test:
 # (name, ns/op, B/op, allocs/op, sim-rate per worker-count variant).
 bench:
 	./scripts/bench.sh
+
+# Re-runs the benchmarks and diffs against scripts/bench_baseline.txt —
+# via benchstat when installed, via the built-in awk comparator otherwise.
+# Refresh the baseline with `./scripts/bench.sh -baseline`.
+bench-compare:
+	./scripts/bench_compare.sh
 
 # Runs every native fuzz target for a short burst (default 10s each) on top
 # of the committed corpora. FUZZTIME=1m make fuzz-smoke for longer runs.

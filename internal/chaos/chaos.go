@@ -10,6 +10,17 @@
 // outcomes are byte-reproducible for a fixed seed regardless of worker
 // count or of which unrelated transceivers share the medium, preserving
 // the repository's tier-1 determinism gate.
+//
+// # Concurrency and pooling
+//
+// An Injector is safe for concurrent use (one mutex guards the per-link
+// RNG streams and fault counters), but like the medium it attaches to it
+// is normally driven by the single goroutine running one campaign's
+// simulation; parallel fleet campaigns each build their own injector.
+// The interceptor hook receives a private copy of each frame (per the
+// radio package's ownership contract) and may mutate it in place — the
+// corruption fault does exactly that — without ever touching pooled or
+// transmitter-owned buffers. Stats returns a snapshot by value.
 package chaos
 
 import (

@@ -64,7 +64,9 @@ type Node struct {
 	learn bool
 
 	// Handler receives every application frame addressed to this node
-	// (or broadcast) after MAC validation.
+	// (or broadcast) after MAC validation. The frame is pool-backed and its
+	// payload aliases the capture buffer: both are valid only for the
+	// duration of the call, so retaining either requires a copy.
 	Handler func(f *protocol.Frame)
 	// RawHook, if set, sees every capture before decoding; returning true
 	// consumes the frame. Controller models use it for the legacy MAC
@@ -144,11 +146,7 @@ func (n *Node) SendMulticast(addressees []protocol.NodeID, apl []byte) error {
 	}
 	n.seq = (n.seq + 1) & 0x0F
 	f.Control.Sequence = n.seq
-	raw, err := f.Encode()
-	if err != nil {
-		return fmt.Errorf("device %s: %w", n.cfg.Name, err)
-	}
-	return n.trx.Transmit(raw)
+	return n.transmitFrame(f)
 }
 
 // SendRouted transmits an application payload to dst through the given
@@ -160,7 +158,18 @@ func (n *Node) SendRouted(dst protocol.NodeID, repeaters []protocol.NodeID, apl 
 	}
 	n.seq = (n.seq + 1) & 0x0F
 	f.Control.Sequence = n.seq
-	raw, err := f.Encode()
+	return n.transmitFrame(f)
+}
+
+// transmitFrame encodes f into a pooled buffer, transmits it, and returns
+// the buffer to the pool. Delivery on the simulated medium is synchronous,
+// so the medium and every receiver are done with the bytes by the time
+// Transmit returns; only paths that retain the encoding for retransmission
+// (sendReliable) must encode into a private buffer instead.
+func (n *Node) transmitFrame(f *protocol.Frame) error {
+	buf := protocol.GetBuf()
+	defer protocol.PutBuf(buf)
+	raw, err := f.AppendEncode(*buf)
 	if err != nil {
 		return fmt.Errorf("device %s: %w", n.cfg.Name, err)
 	}
@@ -175,12 +184,14 @@ func (n *Node) Send(dst protocol.NodeID, payload []byte) error {
 	f := protocol.NewDataFrame(n.cfg.Home, n.cfg.ID, dst, payload)
 	n.seq = (n.seq + 1) & 0x0F
 	f.Control.Sequence = n.seq
+	if n.retry == nil || n.retry.MaxAttempts < 2 || dst == protocol.NodeBroadcast {
+		return n.transmitFrame(f)
+	}
+	// The retry chain retains raw across scheduled retransmissions, so it
+	// gets a private (unpooled) encoding.
 	raw, err := f.Encode()
 	if err != nil {
 		return fmt.Errorf("device %s: %w", n.cfg.Name, err)
-	}
-	if n.retry == nil || n.retry.MaxAttempts < 2 || dst == protocol.NodeBroadcast {
-		return n.trx.Transmit(raw)
 	}
 	return n.sendReliable(dst, n.seq, raw)
 }
@@ -229,20 +240,22 @@ func (n *Node) armRetry(key awaitKey, raw []byte, attempt int, delay time.Durati
 
 // SendAck transmits a MAC transfer acknowledgement.
 func (n *Node) SendAck(dst protocol.NodeID, seq byte) error {
-	raw, err := protocol.NewAckFrame(n.cfg.Home, n.cfg.ID, dst, seq).Encode()
-	if err != nil {
-		return fmt.Errorf("device %s: %w", n.cfg.Name, err)
-	}
-	return n.trx.Transmit(raw)
+	return n.transmitFrame(protocol.NewAckFrame(n.cfg.Home, n.cfg.ID, dst, seq))
 }
 
-// onCapture is the MAC receive path.
+// onCapture is the MAC receive path. The decoded frame comes from the
+// frame pool and is returned when dispatch finishes, so Handler/OnAck must
+// not retain the *Frame or its payload past the call (the payload aliases
+// the capture buffer, which itself is only valid during the callback).
+// Nested deliveries — a handler that transmits, triggering a synchronous
+// inbound ack — draw distinct frames from the pool, so reentrancy is safe.
 func (n *Node) onCapture(c radio.Capture) {
 	if n.RawHook != nil && n.RawHook(c.Raw) {
 		return
 	}
-	f, err := protocol.Decode(c.Raw, protocol.ChecksumCS8)
-	if err != nil {
+	f := protocol.GetFrame()
+	defer protocol.PutFrame(f)
+	if err := protocol.DecodeInto(f, c.Raw, protocol.ChecksumCS8); err != nil {
 		// Malformed frames are dropped by the chipset, as on real silicon.
 		return
 	}
@@ -324,10 +337,6 @@ func (n *Node) handleRouted(f *protocol.Frame) {
 		}
 		fwd := *f
 		fwd.Payload = payload
-		raw, err := fwd.Encode()
-		if err != nil {
-			return
-		}
-		_ = n.trx.Transmit(raw)
+		_ = n.transmitFrame(&fwd)
 	}
 }

@@ -216,8 +216,12 @@ func (m *Monitor) onCapture(c radio.Capture) {
 	if !ok || home != m.home {
 		return
 	}
-	f, err := protocol.Decode(c.Raw, protocol.ChecksumCS8)
-	if err != nil {
+	// Pool-backed decode: the frame (and its payload, which aliases the
+	// capture buffer) is done with before this callback returns — learn and
+	// detect copy what they keep into the model maps.
+	f := protocol.GetFrame()
+	defer protocol.PutFrame(f)
+	if err := protocol.DecodeInto(f, c.Raw, protocol.ChecksumCS8); err != nil {
 		if !m.training {
 			m.raise(RuleMalformedFrame, SeverityMedium, src,
 				fmt.Sprintf("undecodable frame (%d bytes): %v", len(c.Raw), err))

@@ -1,0 +1,60 @@
+package protocol
+
+import "sync"
+
+// Frame-buffer and frame-struct pools for the per-frame hot path. A Table V
+// campaign moves hundreds of thousands of frames through encode, the radio
+// medium, and decode; recycling the two objects that dominate that loop —
+// the 64-byte raw buffer and the parsed Frame — keeps the steady path free
+// of garbage. Both pools are safe for concurrent use (parallel fleet
+// campaigns share them) and both are strictly optional: every API also
+// accepts plain allocated values.
+
+// bufPool recycles raw-frame byte buffers. Entries are pointers to slices so
+// Put does not itself allocate a header escape.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MaxFrameSize)
+		return &b
+	},
+}
+
+// GetBuf returns a pooled buffer: *p is an empty slice with MaxFrameSize
+// capacity. Append into *p (AppendEncode, copy) — frames never exceed
+// MaxFrameSize, so appends stay within the backing array and *p need not
+// be stored back. Release with PutBuf when the bytes are no longer
+// referenced by anyone. The pointer form keeps Get/Put allocation-free
+// (returning a bare slice would re-box its header on every Put).
+func GetBuf() *[]byte {
+	p := bufPool.Get().(*[]byte)
+	*p = (*p)[:0]
+	return p
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool. The caller
+// must guarantee nothing still aliases its backing array: a retained
+// Capture, Frame.Payload, or log entry pointing into it becomes invalid
+// the moment the buffer is reused.
+func PutBuf(p *[]byte) {
+	if cap(*p) < MaxFrameSize {
+		return
+	}
+	bufPool.Put(p)
+}
+
+// framePool recycles parsed Frame structs for receive paths that decode,
+// dispatch, and discard.
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns a zeroed Frame from the pool. Decode into it with
+// DecodeInto and release it with PutFrame once dispatch returns. Handlers
+// that want to keep a frame beyond the callback must deep-copy it (the
+// Payload alias included).
+func GetFrame() *Frame { return framePool.Get().(*Frame) }
+
+// PutFrame zeroes the frame (dropping its Payload alias so pooled frames
+// never pin raw buffers) and returns it to the pool.
+func PutFrame(f *Frame) {
+	*f = Frame{}
+	framePool.Put(f)
+}

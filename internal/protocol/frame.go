@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"zcover/internal/telemetry"
@@ -94,8 +95,9 @@ func (f *Frame) Params() []byte {
 // IsAck reports whether the frame is a MAC transfer acknowledgement.
 func (f *Frame) IsAck() bool { return f.Control.Header == HeaderAck }
 
-// Encode serialises the frame. It fails if the payload cannot fit within
-// the 64-byte MAC limit under the selected checksum mode.
+// Encode serialises the frame into a freshly allocated buffer. It fails if
+// the payload cannot fit within the 64-byte MAC limit under the selected
+// checksum mode. Hot paths that reuse buffers should call AppendEncode.
 func (f *Frame) Encode() ([]byte, error) {
 	mode := f.checksumOrDefault()
 	total := HeaderSize + len(f.Payload) + mode.trailerSize()
@@ -103,13 +105,27 @@ func (f *Frame) Encode() ([]byte, error) {
 		mEncodeTooLarge.Inc()
 		return nil, fmt.Errorf("%w: %d-byte payload needs a %d-byte frame", ErrPayloadTooLarge, len(f.Payload), total)
 	}
-	buf := make([]byte, 0, total)
-	buf = binary.BigEndian.AppendUint32(buf, uint32(f.Home))
-	buf = append(buf, byte(f.Src))
+	return f.AppendEncode(make([]byte, 0, total))
+}
+
+// AppendEncode serialises the frame, appending the encoded bytes to dst and
+// returning the extended slice. With a dst of sufficient capacity (a pooled
+// GetBuf slice, or any buffer of MaxFrameSize bytes) the steady encode path
+// performs no allocation. On error dst is returned unchanged.
+func (f *Frame) AppendEncode(dst []byte) ([]byte, error) {
+	mode := f.checksumOrDefault()
+	total := HeaderSize + len(f.Payload) + mode.trailerSize()
+	if total > MaxFrameSize {
+		mEncodeTooLarge.Inc()
+		return dst, fmt.Errorf("%w: %d-byte payload needs a %d-byte frame", ErrPayloadTooLarge, len(f.Payload), total)
+	}
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.Home))
+	dst = append(dst, byte(f.Src))
 	p1, p2 := f.Control.encode()
-	buf = append(buf, p1, p2, byte(total), byte(f.Dst))
-	buf = append(buf, f.Payload...)
-	return appendChecksum(buf, mode), nil
+	dst = append(dst, p1, p2, byte(total), byte(f.Dst))
+	dst = append(dst, f.Payload...)
+	return appendChecksumFrom(dst, start, mode), nil
 }
 
 // MustEncode is Encode for frames known valid by construction; it panics on
@@ -123,31 +139,58 @@ func (f *Frame) MustEncode() []byte {
 }
 
 // Decode parses raw under the given checksum mode. The returned frame's
-// Payload aliases raw. Errors wrap the package sentinel errors.
+// Payload aliases raw. Errors wrap the package sentinel errors with
+// positional detail; hot paths that only branch on failure should use
+// DecodeInto, which returns the bare sentinels without formatting.
 func Decode(raw []byte, mode ChecksumMode) (*Frame, error) {
+	f := &Frame{}
+	if err := DecodeInto(f, raw, mode); err != nil {
+		if mode != ChecksumCRC16 {
+			mode = ChecksumCS8
+		}
+		switch {
+		case errors.Is(err, ErrFrameTooShort):
+			return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrFrameTooShort, len(raw), HeaderSize+mode.trailerSize())
+		case errors.Is(err, ErrFrameTooLong):
+			return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(raw))
+		case errors.Is(err, ErrLengthMismatch):
+			return nil, fmt.Errorf("%w: LEN=%d, frame is %d bytes", ErrLengthMismatch, raw[7], len(raw))
+		default:
+			return nil, fmt.Errorf("%w (%s)", ErrBadChecksum, mode)
+		}
+	}
+	return f, nil
+}
+
+// DecodeInto parses raw under the given checksum mode into a caller-supplied
+// frame, overwriting every field. The frame's Payload aliases raw, so the
+// caller owns the aliasing hazard: a frame decoded into a reused or pooled
+// buffer is only valid until that buffer's next use. Unlike Decode, failures
+// return the package sentinel errors themselves with no formatting, which
+// keeps the reject path of receivers and fuzzers allocation-free.
+func DecodeInto(f *Frame, raw []byte, mode ChecksumMode) error {
 	if mode != ChecksumCRC16 {
 		mode = ChecksumCS8
 	}
-	minLen := HeaderSize + mode.trailerSize()
-	if len(raw) < minLen {
+	if len(raw) < HeaderSize+mode.trailerSize() {
 		mDecodeFail.Inc()
-		return nil, fmt.Errorf("%w: %d bytes, need at least %d", ErrFrameTooShort, len(raw), minLen)
+		return ErrFrameTooShort
 	}
 	if len(raw) > MaxFrameSize {
 		mDecodeFail.Inc()
-		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooLong, len(raw))
+		return ErrFrameTooLong
 	}
 	if int(raw[7]) != len(raw) {
 		mDecodeFail.Inc()
-		return nil, fmt.Errorf("%w: LEN=%d, frame is %d bytes", ErrLengthMismatch, raw[7], len(raw))
+		return ErrLengthMismatch
 	}
 	if !verifyChecksum(raw, mode) {
 		mDecodeFail.Inc()
 		mChecksumFail.Inc()
-		return nil, fmt.Errorf("%w (%s)", ErrBadChecksum, mode)
+		return ErrBadChecksum
 	}
 	mDecodeOK.Inc()
-	f := &Frame{
+	*f = Frame{
 		Home:     HomeID(binary.BigEndian.Uint32(raw[0:4])),
 		Src:      NodeID(raw[4]),
 		Control:  decodeFrameControl(raw[5], raw[6]),
@@ -155,7 +198,7 @@ func Decode(raw []byte, mode ChecksumMode) (*Frame, error) {
 		Payload:  raw[HeaderSize : len(raw)-mode.trailerSize()],
 		Checksum: mode,
 	}
-	return f, nil
+	return nil
 }
 
 // SniffNetworkInfo extracts the home ID and source/destination node IDs

@@ -11,6 +11,21 @@
 // LEN covers the whole MAC frame including the checksum. Two checksum
 // schemes exist in deployed networks: the legacy 8-bit XOR checksum (CS-8,
 // R1/R2 data rates) and CRC-16/CCITT (R3, 100 kbit/s). Both are implemented.
+//
+// # Concurrency and pooling
+//
+// All package-level functions and Frame methods are safe for concurrent
+// use on distinct frames; a Frame itself is a plain struct with no internal
+// locking. The steady encode/decode path is allocation-free when callers
+// use the pooled variants: AppendEncode writes into a caller-supplied
+// buffer (GetBuf/PutBuf recycle MaxFrameSize buffers through a shared
+// sync.Pool) and DecodeInto parses into a caller-supplied Frame
+// (GetFrame/PutFrame). Both pools are safe for concurrent use across
+// parallel fleet campaigns. Ownership rule: a decoded Frame's Payload
+// aliases the raw buffer it was parsed from, so a buffer must not be
+// returned with PutBuf while any Frame, Capture, or log entry still
+// references its bytes, and PutFrame zeroes the frame to drop that alias.
+// Encode and Decode remain as allocating conveniences for cold paths.
 package protocol
 
 import (
@@ -136,12 +151,13 @@ func CRC16(data []byte) uint16 {
 	return crc
 }
 
-// appendChecksum appends the mode's checksum over buf to buf.
-func appendChecksum(buf []byte, mode ChecksumMode) []byte {
+// appendChecksumFrom appends the mode's checksum over buf[start:] to buf.
+// The start offset lets AppendEncode write after existing bytes in dst.
+func appendChecksumFrom(buf []byte, start int, mode ChecksumMode) []byte {
 	if mode == ChecksumCRC16 {
-		return binary.BigEndian.AppendUint16(buf, CRC16(buf))
+		return binary.BigEndian.AppendUint16(buf, CRC16(buf[start:]))
 	}
-	return append(buf, CS8(buf))
+	return append(buf, CS8(buf[start:]))
 }
 
 // verifyChecksum checks the trailing checksum of raw under the mode.

@@ -1,0 +1,130 @@
+package radio
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"zcover/internal/protocol"
+	"zcover/internal/telemetry"
+	"zcover/internal/vtime"
+)
+
+// TestRecorderUnaffectedByPooledDelivery drives the impaired delivery path
+// (which serves receivers from pooled scratch copies) with a flight
+// recorder attached, then keeps transmitting so the pool reuses those
+// buffers. Earlier recorder snapshots must stay byte-identical — the
+// recorder copies into ring-owned storage, so pooled-buffer reuse cannot
+// reach it.
+func TestRecorderUnaffectedByPooledDelivery(t *testing.T) {
+	clock := vtime.NewSimClock()
+	m := NewMedium(clock)
+	m.SetImpairments(0, 1.0, 42) // corrupt every frame: all deliveries pooled
+	rec := telemetry.NewFlightRecorder(64)
+	m.SetFlightRecorder(rec)
+	tx := m.Attach("tx", RegionEU)
+	rx := m.Attach("rx", RegionEU)
+	rx.SetReceiver(func(Capture) {})
+
+	first := []byte{0x10, 0x20, 0x30, 0x40, 0x50}
+	if err := tx.Transmit(first); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntilIdle()
+	snap := rec.Snapshot()
+	if len(snap) != 1 || !bytes.Equal(snap[0].Raw, first) {
+		t.Fatalf("recorder holds %x, want the transmitted %x", snap[0].Raw, first)
+	}
+
+	// Churn the buffer pool: every transmit borrows and returns a pooled
+	// corruption copy. The earlier snapshot must not move.
+	for i := 0; i < 50; i++ {
+		if err := tx.Transmit([]byte{0xEE, byte(i), 0xEE, byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		clock.RunUntilIdle()
+	}
+	if !bytes.Equal(snap[0].Raw, first) {
+		t.Fatalf("snapshot mutated by pooled-buffer reuse: %x", snap[0].Raw)
+	}
+}
+
+// TestCorruptDeliveryIsPrivatePerReceiver checks that the pooled corrupt
+// copy handed to one receiver is not visible to others and never leaks the
+// corruption back into the transmitter's buffer.
+func TestCorruptDeliveryIsPrivatePerReceiver(t *testing.T) {
+	clock := vtime.NewSimClock()
+	m := NewMedium(clock)
+	m.SetImpairments(0, 1.0, 7)
+	tx := m.Attach("tx", RegionEU)
+	raw := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	orig := append([]byte(nil), raw...)
+	seen := make(map[string][]byte)
+	for _, name := range []string{"a", "b"} {
+		name := name
+		r := m.Attach(name, RegionEU)
+		r.SetReceiver(func(c Capture) {
+			seen[name] = append([]byte(nil), c.Raw...)
+		})
+	}
+	if err := tx.Transmit(raw); err != nil {
+		t.Fatal(err)
+	}
+	clock.RunUntilIdle()
+	if !bytes.Equal(raw, orig) {
+		t.Fatalf("transmit buffer mutated by corruption path: %x", raw)
+	}
+	for name, got := range seen {
+		if bytes.Equal(got, orig) {
+			t.Fatalf("receiver %s saw uncorrupted frame under 100%% noise", name)
+		}
+		if len(got) != len(orig) {
+			t.Fatalf("receiver %s frame length changed: %d", name, len(got))
+		}
+	}
+}
+
+// TestPooledEncodeBufferConcurrentTransmit exercises GetBuf/PutBuf reuse
+// across concurrent transmitters under -race: many goroutines each append
+// into pooled buffers (via the device send path shape) and transmit, while
+// a recorder and a corrupting medium churn the same pool.
+func TestPooledEncodeBufferConcurrentTransmit(t *testing.T) {
+	clock := vtime.NewSimClock()
+	m := NewMedium(clock)
+	m.SetImpairments(0, 0.5, 3)
+	rec := telemetry.NewFlightRecorder(16)
+	m.SetFlightRecorder(rec)
+	rx := m.Attach("rx", RegionEU)
+	rx.SetReceiver(func(Capture) {})
+
+	done := make(chan struct{})
+	const workers = 6
+	for w := 0; w < workers; w++ {
+		w := w
+		trx := m.Attach("w"+string(rune('a'+w)), RegionEU)
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				buf := protocol.GetBuf()
+				*buf = append(*buf, 0xC0, byte(w), byte(i), 0xFE)
+				if err := trx.Transmit(*buf); err != nil {
+					t.Errorf("transmit: %v", err)
+					protocol.PutBuf(buf)
+					return
+				}
+				protocol.PutBuf(buf)
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("timeout waiting for transmitters")
+		}
+	}
+	clock.RunUntilIdle()
+	if rec.Recorded() != workers*100 {
+		t.Fatalf("recorded %d frames, want %d", rec.Recorded(), workers*100)
+	}
+}

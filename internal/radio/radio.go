@@ -10,6 +10,17 @@
 // chipsets do, which is what makes passive sniffing possible. Loss and
 // noise can be injected for robustness testing; both default to off so
 // campaigns are deterministic.
+//
+// # Concurrency and buffer ownership
+//
+// Medium and Transceiver are safe for concurrent use; each campaign in a
+// fleet runs its own Medium, so cross-goroutine traffic never mixes. Frame
+// delivery is synchronous and zero-copy: the Capture handed to a receiver
+// callback aliases the transmitter's buffer (or a pooled scratch copy on
+// impaired paths) and is valid only for the duration of the callback.
+// Receiver callbacks must not mutate Capture.Raw and must copy it before
+// retaining it. The interceptor hook is the exception — it receives a
+// private copy it may mutate or retain, as documented on InterceptFunc.
 package radio
 
 import (
@@ -91,7 +102,12 @@ var (
 type Capture struct {
 	// At is the simulated instant the frame finished arriving.
 	At time.Time
-	// Raw is a copy of the frame bytes as transmitted.
+	// Raw is the frame bytes as received. The slice is owned by the medium
+	// and valid only for the duration of the receiver callback: on the
+	// clean path it aliases the transmitter's buffer, and on impaired paths
+	// it aliases a pooled scratch copy. Receivers must not mutate it, and
+	// must copy it before retaining it past the callback (Sniffer and the
+	// attacker dongle both do).
 	Raw []byte
 }
 
@@ -226,7 +242,19 @@ func (m *Medium) Attach(name string, region Region) *Transceiver {
 	return t
 }
 
-// transmit schedules delivery of raw to all other transceivers in region.
+// targetPool recycles the per-transmission target list. Delivery is
+// synchronous, so the slice is done with by the time transmit returns and
+// can go straight back to the pool.
+var targetPool = sync.Pool{New: func() any { return new([]*Transceiver) }}
+
+// transmit delivers raw to all other transceivers in region.
+//
+// Delivery is synchronous and zero-copy on the clean path: receivers get a
+// Capture whose Raw aliases the transmitter's buffer (see Capture.Raw for
+// the ownership contract). Impaired copies are drawn from the frame buffer
+// pool and returned after the callback; only the interceptor path makes a
+// plain copy, because InterceptFunc is documented as free to mutate and
+// retain its input.
 func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 	if len(raw) > protocol.MaxFrameSize {
 		mTooLong.Inc()
@@ -234,7 +262,8 @@ func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 	}
 	m.mu.Lock()
 	m.txLog++
-	targets := make([]*Transceiver, 0, len(m.nodes))
+	targetsp := targetPool.Get().(*[]*Transceiver)
+	targets := (*targetsp)[:0]
 	for _, t := range m.nodes {
 		if t != from && t.region == from.region && !t.detached.Load() && m.inRange(from, t) {
 			targets = append(targets, t)
@@ -281,23 +310,42 @@ func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 			lost++
 			continue
 		}
-		frame := make([]byte, len(raw))
-		copy(frame, raw)
-		if plans != nil && plans[i].corrupt {
-			frame[plans[i].noiseIdx] ^= plans[i].noiseBit
+		corrupt := plans != nil && plans[i].corrupt
+		if corrupt {
 			corrupted++
 		}
 		if intercept == nil {
+			frame := raw
+			var pooled *[]byte
+			if corrupt {
+				// Corruption needs a private copy; borrow it from the
+				// frame pool and return it once the synchronous delivery
+				// is done.
+				pooled = protocol.GetBuf()
+				*pooled = append(*pooled, raw...)
+				(*pooled)[plans[i].noiseIdx] ^= plans[i].noiseBit
+				frame = *pooled
+			}
 			t.deliver(Capture{At: at, Raw: frame})
+			if pooled != nil {
+				protocol.PutBuf(pooled)
+			}
 			continue
 		}
-		deliveries := intercept(from.name, t.name, frame)
+		// The interceptor may mutate or retain its input, so it gets a
+		// plain (unpooled) copy; corruption is applied directly to it.
+		icopy := make([]byte, len(raw))
+		copy(icopy, raw)
+		if corrupt {
+			icopy[plans[i].noiseIdx] ^= plans[i].noiseBit
+		}
+		deliveries := intercept(from.name, t.name, icopy)
 		if len(deliveries) == 0 {
 			lost++
 			continue
 		}
 		for _, d := range deliveries {
-			if !bytes.Equal(d.Raw, frame) {
+			if !bytes.Equal(d.Raw, icopy) {
 				corrupted++
 			}
 			if d.Delay <= 0 {
@@ -310,16 +358,20 @@ func (m *Medium) transmit(from *Transceiver, raw []byte) error {
 			})
 		}
 	}
+	nTargets := len(targets)
+	*targetsp = targets[:0]
+	targetPool.Put(targetsp)
 	mLost.Add(int64(lost))
 	mCorrupted.Add(int64(corrupted))
 	if recorder != nil {
+		// Record copies raw into ring-owned storage, so no pre-copy here.
 		recorder.Record(telemetry.FrameRecord{
 			At:        at,
 			From:      from.name,
-			Raw:       append([]byte(nil), raw...),
+			Raw:       raw,
 			Airtime:   airtime,
 			Security:  securityClassOf(raw),
-			Targets:   len(targets),
+			Targets:   nTargets,
 			Lost:      lost,
 			Corrupted: corrupted,
 		})

@@ -1,6 +1,7 @@
 package radio
 
 import (
+	"bytes"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -131,19 +132,32 @@ func TestStatsCount(t *testing.T) {
 	}
 }
 
-func TestReceiverGetsACopy(t *testing.T) {
+// TestReceiverOwnershipContract pins the zero-copy delivery contract:
+// Capture.Raw is valid (and byte-correct) during the callback, aliases the
+// transmitter's buffer on the clean path, and therefore must be copied by
+// receivers that retain it — exactly what Sniffer and the dongle do.
+func TestReceiverOwnershipContract(t *testing.T) {
 	m := newTestMedium()
 	a := m.Attach("a", RegionEU)
 	b := m.Attach("b", RegionEU)
-	var got []byte
-	b.SetReceiver(func(c Capture) { got = c.Raw })
 	raw := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	var aliased, retained []byte
+	b.SetReceiver(func(c Capture) {
+		if !bytes.Equal(c.Raw, raw) {
+			t.Errorf("callback saw %x, want %x", c.Raw, raw)
+		}
+		aliased = c.Raw
+		retained = append([]byte(nil), c.Raw...)
+	})
 	if err := a.Transmit(raw); err != nil {
 		t.Fatal(err)
 	}
 	raw[0] = 0xFF
-	if got[0] == 0xFF {
-		t.Fatal("receiver aliases the transmit buffer")
+	if aliased[0] != 0xFF {
+		t.Fatal("clean-path delivery made a copy; expected zero-copy aliasing")
+	}
+	if retained[0] != 1 {
+		t.Fatal("copied retention affected by transmitter mutation")
 	}
 }
 

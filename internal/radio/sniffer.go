@@ -27,8 +27,12 @@ func NewSniffer(m *Medium, region Region, limit int) *Sniffer {
 	return s
 }
 
-// onFrame records a capture, evicting the oldest beyond the limit.
+// onFrame records a capture, evicting the oldest beyond the limit. The
+// incoming Raw is only valid for the duration of this callback (it may
+// alias the transmitter's buffer or a pooled copy), so retention requires
+// a private copy.
 func (s *Sniffer) onFrame(c Capture) {
+	c.Raw = append([]byte(nil), c.Raw...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.captures = append(s.captures, c)

@@ -1,0 +1,64 @@
+package security
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkS0Roundtrip measures one S0 encapsulate + decapsulate cycle —
+// the legacy transport's per-message hot path. The cached key contexts
+// make key expansion a one-time cost, so the steady state is dominated by
+// the OFB/CBC-MAC block operations themselves.
+func BenchmarkS0Roundtrip(b *testing.B) {
+	keys, err := DeriveS0Keys(bytes.Repeat([]byte{0x11}, KeySize))
+	if err != nil {
+		b.Fatal(err)
+	}
+	senderNonce := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	receiverNonce := []byte{9, 10, 11, 12, 13, 14, 15, 16}
+	header := []byte{0x98, 0x81}
+	plaintext := []byte{0x25, 0x01, 0xFF}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err := S0Encapsulate(keys, senderNonce, receiverNonce, header, plaintext)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := S0Decapsulate(keys, receiverNonce, header, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkS2Roundtrip measures one S2 encapsulate + decapsulate cycle
+// through paired sessions — the modern transport's per-message hot path,
+// exercising the cached CCM AEAD and the SPAN nonce derivation.
+func BenchmarkS2Roundtrip(b *testing.B) {
+	networkKey := bytes.Repeat([]byte{0x22}, KeySize)
+	entropyA := bytes.Repeat([]byte{0x33}, KeySize)
+	entropyB := bytes.Repeat([]byte{0x44}, KeySize)
+	tx, err := NewSession(networkKey, entropyA, entropyB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rx, err := NewSession(networkKey, entropyA, entropyB)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aad := []byte{0xC0, 0xDE, 0xCA, 0xFE, 0x01, 0x02}
+	plaintext := []byte{0x25, 0x01, 0xFF}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		payload, err := tx.Encapsulate(FlowAtoB, aad, plaintext)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rx.Decapsulate(FlowAtoB, aad, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

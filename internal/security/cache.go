@@ -1,0 +1,116 @@
+package security
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"fmt"
+	"sync"
+
+	"zcover/internal/telemetry"
+)
+
+// Keyed AES context cache. Every S0 frame used to pay three aes.NewCipher
+// key expansions (OFB encrypt, CBC-MAC, and again on the way back) and
+// every S2 message rebuilt its CCM AEAD and CMAC subkeys; at campaign scale
+// that is millions of redundant key schedules. The cache builds the AES
+// block, the RFC 4493 CMAC subkeys, and the CCM AEAD once per distinct key
+// and shares them across every subsequent operation in the process.
+//
+// Sharing is safe because every cached element is immutable after
+// construction: cipher.Block is stateless for AES, the subkeys are fixed
+// bytes, and the ccm AEAD holds only the block. The cache itself is guarded
+// by an RWMutex, so concurrent campaigns in a fleet share contexts freely
+// (security_test.go hammers this under -race).
+//
+// Callers must not mutate key material they have handed in: the cache is
+// keyed by value (a copy of the 16 bytes), so later mutation of the
+// caller's slice simply selects a different context — but mutating a slice
+// while another goroutine derives from it is the caller's race to avoid.
+
+// Process-wide cache metrics.
+var (
+	mKeyCtxHit  = telemetry.Default().Counter("security_keyctx_hits_total")
+	mKeyCtxMiss = telemetry.Default().Counter("security_keyctx_miss_total")
+)
+
+// keyContext holds everything derivable from one AES-128 key.
+type keyContext struct {
+	block cipher.Block
+	// k1, k2 are the RFC 4493 CMAC subkeys.
+	k1, k2 [BlockSize]byte
+	// aead is the S2 CCM AEAD under this key.
+	aead *ccm
+}
+
+// maxKeyContexts bounds the cache. A testbed uses a handful of keys (S0
+// temp + derived pair, S2 temp + network + CCM); the bound only matters to
+// long-lived processes that churn through many testbeds, where the cheap
+// full reset below keeps the map from growing without limit.
+const maxKeyContexts = 1024
+
+var (
+	keyCtxMu    sync.RWMutex
+	keyContexts = make(map[[KeySize]byte]*keyContext)
+)
+
+// contextFor returns the cached context for a 16-byte key, building and
+// memoising it on first use.
+func contextFor(key []byte) (*keyContext, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("security: AES key must be %d bytes, got %d", KeySize, len(key))
+	}
+	var k [KeySize]byte
+	copy(k[:], key)
+
+	keyCtxMu.RLock()
+	ctx, ok := keyContexts[k]
+	keyCtxMu.RUnlock()
+	if ok {
+		mKeyCtxHit.Inc()
+		return ctx, nil
+	}
+	mKeyCtxMiss.Inc()
+
+	block, err := aes.NewCipher(k[:])
+	if err != nil {
+		return nil, fmt.Errorf("security: %w", err)
+	}
+	ctx = &keyContext{block: block, aead: &ccm{block: block}}
+	ctx.k1, ctx.k2 = cmacSubkeys(block.Encrypt)
+
+	keyCtxMu.Lock()
+	if existing, ok := keyContexts[k]; ok {
+		ctx = existing // another goroutine won the build race; share theirs
+	} else {
+		if len(keyContexts) >= maxKeyContexts {
+			keyContexts = make(map[[KeySize]byte]*keyContext)
+		}
+		keyContexts[k] = ctx
+	}
+	keyCtxMu.Unlock()
+	return ctx, nil
+}
+
+// mustContextFor is contextFor for keys known to be the right length.
+func mustContextFor(key []byte) *keyContext {
+	ctx, err := contextFor(key)
+	if err != nil {
+		panic(err)
+	}
+	return ctx
+}
+
+// KeyContextCacheLen reports the number of cached key contexts (test and
+// diagnostics hook).
+func KeyContextCacheLen() int {
+	keyCtxMu.RLock()
+	defer keyCtxMu.RUnlock()
+	return len(keyContexts)
+}
+
+// ResetKeyContextCache drops every cached context. Only tests need it.
+func ResetKeyContextCache() {
+	keyCtxMu.Lock()
+	defer keyCtxMu.Unlock()
+	keyContexts = make(map[[KeySize]byte]*keyContext)
+}

@@ -1,7 +1,6 @@
 package security
 
 import (
-	"crypto/aes"
 	"crypto/cipher"
 	"crypto/subtle"
 	"encoding/binary"
@@ -30,16 +29,18 @@ type ccm struct {
 var _ cipher.AEAD = (*ccm)(nil)
 
 // NewCCM returns an AES-CCM AEAD under a 16-byte key with the S2 parameter
-// set (13-byte nonce, 8-byte tag).
+// set (13-byte nonce, 8-byte tag). The AEAD is stateless and shared from
+// the key-context cache, so calling NewCCM per message costs one cache
+// lookup, not an AES key expansion; it is safe for concurrent use.
 func NewCCM(key []byte) (cipher.AEAD, error) {
 	if len(key) != KeySize {
 		return nil, fmt.Errorf("security: CCM key must be %d bytes, got %d", KeySize, len(key))
 	}
-	block, err := aes.NewCipher(key)
+	ctx, err := contextFor(key)
 	if err != nil {
-		return nil, fmt.Errorf("security: %w", err)
+		return nil, err
 	}
-	return &ccm{block: block}, nil
+	return ctx.aead, nil
 }
 
 // NonceSize implements cipher.AEAD.
@@ -51,7 +52,9 @@ func (*ccm) Overhead() int { return CCMTagSize }
 // maxPayload is the largest plaintext CCM with L=2 can frame.
 const maxPayload = 1<<16 - 1
 
-// Seal implements cipher.AEAD.
+// Seal implements cipher.AEAD. It writes ciphertext and tag directly into
+// grown dst, so a caller that passes a buffer with spare capacity pays no
+// allocation.
 func (c *ccm) Seal(dst, nonce, plaintext, aad []byte) []byte {
 	if len(nonce) != CCMNonceSize {
 		panic("security: bad CCM nonce size")
@@ -59,21 +62,22 @@ func (c *ccm) Seal(dst, nonce, plaintext, aad []byte) []byte {
 	if len(plaintext) > maxPayload {
 		panic("security: CCM plaintext too large")
 	}
-	tag := c.authTag(nonce, plaintext, aad)
+	sc := getScratch()
+	defer putScratch(sc)
+	tag := c.authTag(sc, nonce, plaintext, aad)
 
-	out := make([]byte, len(plaintext)+CCMTagSize)
-	c.ctrCrypt(nonce, out[:len(plaintext)], plaintext, 1)
+	dst, out := extend(dst, len(plaintext)+CCMTagSize)
+	c.ctrCrypt(sc, nonce, out[:len(plaintext)], plaintext, 1)
 
 	// Encrypt the tag with counter block 0.
-	var s0 [BlockSize]byte
-	c.ctrBlock(nonce, 0, &s0)
+	c.ctrBlock(sc, nonce, 0, &sc.tagKS)
 	for i := 0; i < CCMTagSize; i++ {
-		out[len(plaintext)+i] = tag[i] ^ s0[i]
+		out[len(plaintext)+i] = tag[i] ^ sc.tagKS[i]
 	}
-	return append(dst, out...)
+	return dst
 }
 
-// Open implements cipher.AEAD.
+// Open implements cipher.AEAD. Like Seal it decrypts into grown dst.
 func (c *ccm) Open(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
 	if len(nonce) != CCMNonceSize {
 		return nil, fmt.Errorf("security: bad CCM nonce size %d", len(nonce))
@@ -84,53 +88,69 @@ func (c *ccm) Open(dst, nonce, ciphertext, aad []byte) ([]byte, error) {
 	body := ciphertext[:len(ciphertext)-CCMTagSize]
 	gotTag := ciphertext[len(ciphertext)-CCMTagSize:]
 
-	plaintext := make([]byte, len(body))
-	c.ctrCrypt(nonce, plaintext, body, 1)
+	sc := getScratch()
+	defer putScratch(sc)
+	dst, plaintext := extend(dst, len(body))
+	c.ctrCrypt(sc, nonce, plaintext, body, 1)
 
-	wantTag := c.authTag(nonce, plaintext, aad)
-	var s0 [BlockSize]byte
-	c.ctrBlock(nonce, 0, &s0)
-	expect := make([]byte, CCMTagSize)
+	wantTag := c.authTag(sc, nonce, plaintext, aad)
+	c.ctrBlock(sc, nonce, 0, &sc.tagKS)
+	var expect [CCMTagSize]byte
 	for i := 0; i < CCMTagSize; i++ {
-		expect[i] = wantTag[i] ^ s0[i]
+		expect[i] = wantTag[i] ^ sc.tagKS[i]
 	}
-	if subtle.ConstantTimeCompare(gotTag, expect) != 1 {
+	if subtle.ConstantTimeCompare(gotTag, expect[:]) != 1 {
 		return nil, ErrCCMAuth
 	}
-	return append(dst, plaintext...), nil
+	return dst, nil
+}
+
+// extend grows dst by n bytes, reallocating only when capacity is short,
+// and returns the grown slice plus the n-byte tail to write into.
+func extend(dst []byte, n int) (grown, tail []byte) {
+	if cap(dst)-len(dst) < n {
+		ndst := make([]byte, len(dst), len(dst)+n)
+		copy(ndst, dst)
+		dst = ndst
+	}
+	grown = dst[:len(dst)+n]
+	return grown, grown[len(dst):]
 }
 
 // authTag computes the CBC-MAC portion of CCM (the T value, untruncated
-// beyond tag size).
-func (c *ccm) authTag(nonce, plaintext, aad []byte) [CCMTagSize]byte {
+// beyond tag size) using pooled scratch (sc.b0, sc.x, sc.blk).
+func (c *ccm) authTag(sc *scratch, nonce, plaintext, aad []byte) [CCMTagSize]byte {
 	// B0: flags | nonce | message length.
-	var b0 [BlockSize]byte
+	sc.b0 = [BlockSize]byte{}
 	flags := byte(((CCMTagSize - 2) / 2) << 3) // M' field
 	flags |= 1                                 // L' = L-1 = 1
 	if len(aad) > 0 {
 		flags |= 1 << 6
 	}
-	b0[0] = flags
-	copy(b0[1:1+CCMNonceSize], nonce)
-	binary.BigEndian.PutUint16(b0[BlockSize-2:], uint16(len(plaintext)))
+	sc.b0[0] = flags
+	copy(sc.b0[1:1+CCMNonceSize], nonce)
+	binary.BigEndian.PutUint16(sc.b0[BlockSize-2:], uint16(len(plaintext)))
 
-	var x [BlockSize]byte
-	c.block.Encrypt(x[:], b0[:])
+	c.block.Encrypt(sc.x[:], sc.b0[:])
 
 	// Associated data blocks, prefixed with its 2-byte length encoding
-	// (S2 AAD is always well under the 0xFEFF threshold).
+	// (S2 AAD is always well under the 0xFEFF threshold). The first block
+	// is assembled in scratch; S2's AAD (home+src+dst+seq+flags) fits in
+	// it, keeping the per-message path allocation-free.
 	if len(aad) > 0 {
-		var hdr [2]byte
-		binary.BigEndian.PutUint16(hdr[:], uint16(len(aad)))
-		buf := make([]byte, 0, 2+len(aad))
-		buf = append(buf, hdr[:]...)
-		buf = append(buf, aad...)
-		for len(buf)%BlockSize != 0 {
-			buf = append(buf, 0)
-		}
-		for i := 0; i < len(buf); i += BlockSize {
-			xorBytes(&x, buf[i:i+BlockSize])
-			c.block.Encrypt(x[:], x[:])
+		sc.blk = [BlockSize]byte{}
+		binary.BigEndian.PutUint16(sc.blk[:2], uint16(len(aad)))
+		n := copy(sc.blk[2:], aad)
+		xorBlock(&sc.x, sc.blk)
+		c.block.Encrypt(sc.x[:], sc.x[:])
+		rest := aad[n:]
+		for i := 0; i < len(rest); i += BlockSize {
+			end := i + BlockSize
+			if end > len(rest) {
+				end = len(rest)
+			}
+			xorBytes(&sc.x, rest[i:end])
+			c.block.Encrypt(sc.x[:], sc.x[:])
 		}
 	}
 
@@ -140,37 +160,37 @@ func (c *ccm) authTag(nonce, plaintext, aad []byte) [CCMTagSize]byte {
 		if end > len(plaintext) {
 			end = len(plaintext)
 		}
-		xorBytes(&x, plaintext[i:end])
-		c.block.Encrypt(x[:], x[:])
+		xorBytes(&sc.x, plaintext[i:end])
+		c.block.Encrypt(sc.x[:], sc.x[:])
 	}
 
 	var tag [CCMTagSize]byte
-	copy(tag[:], x[:CCMTagSize])
+	copy(tag[:], sc.x[:CCMTagSize])
 	return tag
 }
 
-// ctrBlock writes keystream block i for the nonce into out.
-func (c *ccm) ctrBlock(nonce []byte, counter uint16, out *[BlockSize]byte) {
-	var a [BlockSize]byte
-	a[0] = 1 // L' = 1
-	copy(a[1:1+CCMNonceSize], nonce)
-	binary.BigEndian.PutUint16(a[BlockSize-2:], counter)
-	c.block.Encrypt(out[:], a[:])
+// ctrBlock writes keystream block i for the nonce into out, assembling the
+// counter block in sc.ctr (out must be a different scratch field).
+func (c *ccm) ctrBlock(sc *scratch, nonce []byte, counter uint16, out *[BlockSize]byte) {
+	sc.ctr = [BlockSize]byte{}
+	sc.ctr[0] = 1 // L' = 1
+	copy(sc.ctr[1:1+CCMNonceSize], nonce)
+	binary.BigEndian.PutUint16(sc.ctr[BlockSize-2:], counter)
+	c.block.Encrypt(out[:], sc.ctr[:])
 }
 
 // ctrCrypt XORs src with the CTR keystream starting at the given counter.
-func (c *ccm) ctrCrypt(nonce []byte, dst, src []byte, startCounter uint16) {
-	var ks [BlockSize]byte
+func (c *ccm) ctrCrypt(sc *scratch, nonce []byte, dst, src []byte, startCounter uint16) {
 	counter := startCounter
 	for i := 0; i < len(src); i += BlockSize {
-		c.ctrBlock(nonce, counter, &ks)
+		c.ctrBlock(sc, nonce, counter, &sc.ks)
 		counter++
 		end := i + BlockSize
 		if end > len(src) {
 			end = len(src)
 		}
 		for j := i; j < end; j++ {
-			dst[j] = src[j] ^ ks[j-i]
+			dst[j] = src[j] ^ sc.ks[j-i]
 		}
 	}
 }

@@ -7,6 +7,18 @@
 // Everything is built on the Go standard library: crypto/aes, crypto/ecdh,
 // crypto/subtle. AES-CMAC (RFC 4493) and AES-CCM (RFC 3610) are implemented
 // here because the standard library does not ship them.
+//
+// # Concurrency and caching
+//
+// Package-level functions (CMAC, NewCCM, S0Encapsulate, S0Decapsulate) are
+// safe for concurrent use: they share a process-wide keyed AES-context
+// cache (see cache.go) whose entries are immutable after construction, so
+// parallel fleet campaigns amortise key schedules across goroutines without
+// locking on the per-frame path. Session is the exception — it carries
+// per-flow SPAN counters and is confined to one campaign's simulation
+// goroutine, like the rest of a testbed. Key slices handed to this package
+// are read, copied where retained, and never mutated; callers likewise must
+// not mutate a key while another goroutine is using it.
 package security
 
 import (
@@ -21,46 +33,53 @@ const (
 	BlockSize = aes.BlockSize
 )
 
-// CMAC computes AES-CMAC (RFC 4493) of msg under a 16-byte key.
+// CMAC computes AES-CMAC (RFC 4493) of msg under a 16-byte key. The AES
+// block and subkeys come from the process-wide key-context cache, so
+// repeated MACs under one key pay a single key expansion.
 func CMAC(key, msg []byte) ([]byte, error) {
 	if len(key) != KeySize {
 		return nil, fmt.Errorf("security: CMAC key must be %d bytes, got %d", KeySize, len(key))
 	}
-	block, err := aes.NewCipher(key)
+	ctx, err := contextFor(key)
 	if err != nil {
-		return nil, fmt.Errorf("security: %w", err)
+		return nil, err
 	}
+	out := make([]byte, BlockSize)
+	sc := getScratch()
+	cmacTo((*[BlockSize]byte)(out), ctx, sc, msg)
+	putScratch(sc)
+	return out, nil
+}
 
-	k1, k2 := cmacSubkeys(block.Encrypt)
-
+// cmacTo computes AES-CMAC of msg into out using a cached context and
+// pooled scratch (sc.last, sc.x). This is the allocation-free core the
+// per-message S2 paths (nonce derivation, key expansion) run on.
+func cmacTo(out *[BlockSize]byte, ctx *keyContext, sc *scratch, msg []byte) {
 	n := (len(msg) + BlockSize - 1) / BlockSize
 	lastComplete := n > 0 && len(msg)%BlockSize == 0
 	if n == 0 {
 		n = 1
 	}
 
-	var last [BlockSize]byte
+	sc.last = [BlockSize]byte{}
 	if lastComplete {
-		copy(last[:], msg[(n-1)*BlockSize:])
-		xorBlock(&last, k1)
+		copy(sc.last[:], msg[(n-1)*BlockSize:])
+		xorBlock(&sc.last, ctx.k1)
 	} else {
 		rem := msg[(n-1)*BlockSize:]
-		copy(last[:], rem)
-		last[len(rem)] = 0x80
-		xorBlock(&last, k2)
+		copy(sc.last[:], rem)
+		sc.last[len(rem)] = 0x80
+		xorBlock(&sc.last, ctx.k2)
 	}
 
-	var x [BlockSize]byte
+	sc.x = [BlockSize]byte{}
 	for i := 0; i < n-1; i++ {
-		xorBytes(&x, msg[i*BlockSize:(i+1)*BlockSize])
-		block.Encrypt(x[:], x[:])
+		xorBytes(&sc.x, msg[i*BlockSize:(i+1)*BlockSize])
+		ctx.block.Encrypt(sc.x[:], sc.x[:])
 	}
-	xorBlock(&x, last)
-	block.Encrypt(x[:], x[:])
-
-	out := make([]byte, BlockSize)
-	copy(out, x[:])
-	return out, nil
+	xorBlock(&sc.x, sc.last)
+	ctx.block.Encrypt(sc.x[:], sc.x[:])
+	*out = sc.x
 }
 
 // mustCMAC is CMAC for keys known to be the right length.

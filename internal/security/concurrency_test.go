@@ -1,0 +1,105 @@
+package security
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestKeyContextCacheConcurrent hammers the keyed AES-context cache from
+// many goroutines under -race: concurrent S0 and S2 roundtrips under both
+// shared and goroutine-distinct keys, interleaved with cache resets. Every
+// roundtrip must still produce the correct plaintext — the cache entries
+// are immutable and safe to share, and a reset mid-flight only costs a
+// re-derivation, never correctness.
+func TestKeyContextCacheConcurrent(t *testing.T) {
+	const workers = 8
+	const iters = 200
+
+	sharedKey := bytes.Repeat([]byte{0x5A}, KeySize)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the workers use the shared key, half a private one, so
+			// the cache sees both read-heavy hits and concurrent inserts.
+			key := sharedKey
+			if w%2 == 1 {
+				key = bytes.Repeat([]byte{byte(w)}, KeySize)
+			}
+			keys, err := DeriveS0Keys(key)
+			if err != nil {
+				errs <- err
+				return
+			}
+			sess, err := NewSession(key, bytes.Repeat([]byte{0x0A}, EntropySize), bytes.Repeat([]byte{0x0B}, EntropySize))
+			if err != nil {
+				errs <- err
+				return
+			}
+			sn := []byte{1, 2, 3, 4, 5, 6, 7, byte(w)}
+			rn := []byte{8, 7, 6, 5, 4, 3, 2, byte(w)}
+			header := []byte{0x98, 0x81}
+			for i := 0; i < iters; i++ {
+				pt := []byte{0x25, 0x01, byte(i), byte(w)}
+				enc, err := S0Encapsulate(keys, sn, rn, header, pt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				dec, err := S0Decapsulate(keys, rn, header, enc)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(dec, pt) {
+					errs <- fmt.Errorf("worker %d iter %d: S0 roundtrip %x != %x", w, i, dec, pt)
+					return
+				}
+				s2enc, err := sess.Encapsulate(FlowAtoB, header, pt)
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Each worker owns its Session (sessions are single-
+				// goroutine by contract); only the context cache is shared.
+				if _, err := CMAC(key, s2enc); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent resets force re-derivation races against the readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			ResetKeyContextCache()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestKeyContextCacheReuse checks that repeated operations under one key
+// resolve to a single cache entry rather than re-expanding the key.
+func TestKeyContextCacheReuse(t *testing.T) {
+	ResetKeyContextCache()
+	key := bytes.Repeat([]byte{0x77}, KeySize)
+	for i := 0; i < 10; i++ {
+		if _, err := CMAC(key, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := KeyContextCacheLen(); n != 1 {
+		t.Fatalf("cache holds %d contexts after 10 CMACs under one key, want 1", n)
+	}
+}

@@ -1,7 +1,6 @@
 package security
 
 import (
-	"crypto/aes"
 	"crypto/rand"
 	"crypto/subtle"
 	"errors"
@@ -36,10 +35,18 @@ const (
 // ErrS0Auth indicates S0 MAC verification failed.
 var ErrS0Auth = errors.New("security: S0 authentication failed")
 
+// s0TempKey is the specification's fixed all-zero S0 temporary key.
+var s0TempKey [KeySize]byte
+
 // S0TempKey returns the temporary key protecting the S0 network-key
 // transfer. The specification fixes it to all zeros — the root cause of the
 // S0 downgrade/MITM weakness.
-func S0TempKey() []byte { return make([]byte, KeySize) }
+//
+// The returned slice aliases a single package-level constant so that every
+// call resolves to the same key-context cache entry; callers must treat it
+// as read-only. (It used to return a fresh zero slice per call, which both
+// defeated the cache and let callers mutate what looked like shared state.)
+func S0TempKey() []byte { return s0TempKey[:] }
 
 // s0 key-derivation constants: the network key encrypts a fixed pattern to
 // produce the encryption and authentication keys.
@@ -66,17 +73,14 @@ type S0Keys struct {
 
 // DeriveS0Keys expands a 16-byte network key into the S0 key pair.
 func DeriveS0Keys(networkKey []byte) (S0Keys, error) {
-	if len(networkKey) != KeySize {
-		return S0Keys{}, fmt.Errorf("security: S0 network key must be %d bytes, got %d", KeySize, len(networkKey))
-	}
-	block, err := aes.NewCipher(networkKey)
+	ctx, err := contextFor(networkKey)
 	if err != nil {
-		return S0Keys{}, fmt.Errorf("security: %w", err)
+		return S0Keys{}, fmt.Errorf("security: S0 network key: %w", err)
 	}
 	enc := make([]byte, BlockSize)
 	auth := make([]byte, BlockSize)
-	block.Encrypt(enc, s0EncPattern)
-	block.Encrypt(auth, s0AuthPattern)
+	ctx.block.Encrypt(enc, s0EncPattern)
+	ctx.block.Encrypt(auth, s0AuthPattern)
 	return S0Keys{Enc: enc, Auth: auth}, nil
 }
 
@@ -102,21 +106,31 @@ func S0Encapsulate(keys S0Keys, senderNonce, receiverNonce, header, plaintext []
 	if len(senderNonce) != S0NonceSize || len(receiverNonce) != S0NonceSize {
 		return nil, fmt.Errorf("security: S0 nonces must be %d bytes", S0NonceSize)
 	}
-	iv := append(append([]byte{}, senderNonce...), receiverNonce...)
-	ct := make([]byte, len(plaintext))
-	if err := ofbCrypt(keys.Enc, iv, ct, plaintext); err != nil {
-		return nil, err
-	}
-	mac, err := s0MAC(keys.Auth, iv, header, ct)
+	encCtx, err := contextFor(keys.Enc)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, 0, 2+S0NonceSize+len(ct)+1+S0MACSize)
+	authCtx, err := contextFor(keys.Auth)
+	if err != nil {
+		return nil, err
+	}
+	sc := getScratch()
+	defer putScratch(sc)
+	copy(sc.iv[:S0NonceSize], senderNonce)
+	copy(sc.iv[S0NonceSize:], receiverNonce)
+
+	// The single allocation is the returned payload; the ciphertext is
+	// produced in place inside it.
+	out := make([]byte, 0, 2+S0NonceSize+len(plaintext)+1+S0MACSize)
 	out = append(out, 0x98, 0x81)
 	out = append(out, senderNonce...)
-	out = append(out, ct...)
+	ctStart := len(out)
+	out = out[:ctStart+len(plaintext)]
+	ct := out[ctStart:]
+	ofbCrypt(encCtx, sc, ct, plaintext)
+	mac := s0MAC(authCtx, sc, header, ct)
 	out = append(out, receiverNonce[0]) // nonce identifier
-	out = append(out, mac...)
+	out = append(out, mac[:]...)
 	mS0Encrypt.Inc()
 	return out, nil
 }
@@ -142,72 +156,74 @@ func S0Decapsulate(keys S0Keys, receiverNonce, header, payload []byte) ([]byte, 
 		mS0AuthFail.Inc()
 		return nil, fmt.Errorf("%w: unknown receiver nonce id %#02x", ErrS0Auth, nonceID)
 	}
-	iv := append(append([]byte{}, senderNonce...), receiverNonce...)
-	wantMAC, err := s0MAC(keys.Auth, iv, header, ct)
+	authCtx, err := contextFor(keys.Auth)
 	if err != nil {
 		return nil, err
 	}
-	if subtle.ConstantTimeCompare(gotMAC, wantMAC) != 1 {
+	sc := getScratch()
+	defer putScratch(sc)
+	copy(sc.iv[:S0NonceSize], senderNonce)
+	copy(sc.iv[S0NonceSize:], receiverNonce)
+	wantMAC := s0MAC(authCtx, sc, header, ct)
+	if subtle.ConstantTimeCompare(gotMAC, wantMAC[:]) != 1 {
 		mS0AuthFail.Inc()
 		return nil, ErrS0Auth
 	}
-	pt := make([]byte, len(ct))
-	if err := ofbCrypt(keys.Enc, iv, pt, ct); err != nil {
+	encCtx, err := contextFor(keys.Enc)
+	if err != nil {
 		return nil, err
 	}
+	pt := make([]byte, len(ct))
+	ofbCrypt(encCtx, sc, pt, ct)
 	mS0Decrypt.Inc()
 	return pt, nil
 }
 
-// s0MAC computes the truncated AES-CBC-MAC over IV-bound header and
-// ciphertext.
-func s0MAC(authKey, iv, header, ct []byte) ([]byte, error) {
-	block, err := aes.NewCipher(authKey)
-	if err != nil {
-		return nil, fmt.Errorf("security: %w", err)
+// s0MAC computes the truncated AES-CBC-MAC over header and ciphertext,
+// bound to the IV the caller placed in sc.iv. The MAC'd message (header,
+// length byte, ciphertext) is assembled in sc.msg — S0 payloads are
+// bounded by the 64-byte MAC frame, so the scratch always suffices.
+func s0MAC(ctx *keyContext, sc *scratch, header, ct []byte) [S0MACSize]byte {
+	var msg []byte
+	if n := len(header) + 1 + len(ct); n <= len(sc.msg) {
+		msg = sc.msg[:0]
+	} else {
+		msg = make([]byte, 0, n)
 	}
-	msg := make([]byte, 0, len(header)+1+len(ct))
 	msg = append(msg, header...)
 	msg = append(msg, byte(len(ct)))
 	msg = append(msg, ct...)
 
 	// CBC-MAC with the IV encrypted as the first block (per S0).
-	var x [BlockSize]byte
-	block.Encrypt(x[:], iv[:BlockSize])
+	ctx.block.Encrypt(sc.x[:], sc.iv[:])
 	for i := 0; i < len(msg); i += BlockSize {
 		end := i + BlockSize
 		if end > len(msg) {
 			end = len(msg)
 		}
-		xorBytes(&x, msg[i:end])
-		block.Encrypt(x[:], x[:])
+		xorBytes(&sc.x, msg[i:end])
+		ctx.block.Encrypt(sc.x[:], sc.x[:])
 	}
-	return append([]byte{}, x[:S0MACSize]...), nil
+	var mac [S0MACSize]byte
+	copy(mac[:], sc.x[:S0MACSize])
+	return mac
 }
 
-// ofbCrypt applies AES-OFB keystream (implemented locally; OFB is symmetric
-// so the same function encrypts and decrypts).
-func ofbCrypt(key, iv []byte, dst, src []byte) error {
-	block, err := aes.NewCipher(key)
-	if err != nil {
-		return fmt.Errorf("security: %w", err)
-	}
-	if len(iv) != BlockSize {
-		return fmt.Errorf("security: OFB IV must be %d bytes, got %d", BlockSize, len(iv))
-	}
-	var ks [BlockSize]byte
-	copy(ks[:], iv)
+// ofbCrypt applies AES-OFB keystream from the cached context, with the IV
+// read from sc.iv (left intact for the MAC) and the keystream evolving in
+// sc.ks. OFB is symmetric, so the same function encrypts and decrypts.
+func ofbCrypt(ctx *keyContext, sc *scratch, dst, src []byte) {
+	sc.ks = sc.iv
 	for i := 0; i < len(src); i += BlockSize {
-		block.Encrypt(ks[:], ks[:])
+		ctx.block.Encrypt(sc.ks[:], sc.ks[:])
 		end := i + BlockSize
 		if end > len(src) {
 			end = len(src)
 		}
 		for j := i; j < end; j++ {
-			dst[j] = src[j] ^ ks[j-i]
+			dst[j] = src[j] ^ sc.ks[j-i]
 		}
 	}
-	return nil
 }
 
 // S0EncryptNetworkKeyTransfer models the inclusion-time NETWORK_KEY_SET:

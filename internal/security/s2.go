@@ -118,7 +118,13 @@ var (
 //
 // Session is not safe for concurrent use; the simulation is single-threaded.
 type Session struct {
-	ccmKey   []byte
+	ccmKey []byte
+	// aead and meiCtx are the session's cached crypto contexts: the CCM
+	// AEAD under ccmKey and the CMAC context of the mixed entropy input.
+	// Both are immutable and resolved once at NewSession, so per-message
+	// encapsulation pays no key expansion.
+	aead     *ccm
+	meiCtx   *keyContext
 	mei      []byte // mixed entropy input: the SPAN personalisation
 	ctr      map[Flow]uint32
 	lastSeq  map[Flow]byte
@@ -156,6 +162,8 @@ func NewSession(networkKey, entropyA, entropyB []byte) (*Session, error) {
 	mei := mustCMAC(noncePRK, mixed)
 	return &Session{
 		ccmKey:  ccmKey,
+		aead:    mustContextFor(ccmKey).aead,
+		meiCtx:  mustContextFor(mei),
 		mei:     mei,
 		ctr:     map[Flow]uint32{FlowAtoB: 0, FlowBtoA: 0},
 		lastSeq: map[Flow]byte{},
@@ -163,11 +171,29 @@ func NewSession(networkKey, entropyA, entropyB []byte) (*Session, error) {
 	}, nil
 }
 
-// nonceFor derives the 13-byte CCM nonce for message number n of a flow.
-func (s *Session) nonceFor(flow Flow, n uint32) []byte {
-	msg := []byte{byte(flow), byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
-	full := mustCMAC(s.mei, msg)
-	return full[:CCMNonceSize]
+// nonceFor derives the 13-byte CCM nonce for message number n of a flow
+// into the caller's buffer (no allocation on the per-message path).
+func (s *Session) nonceFor(nonce *[CCMNonceSize]byte, flow Flow, n uint32) {
+	msg := [5]byte{byte(flow), byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+	sc := getScratch()
+	cmacTo(&sc.ks, s.meiCtx, sc, msg[:]) // ks doubles as the CMAC output here
+	copy(nonce[:], sc.ks[:CCMNonceSize])
+	putScratch(sc)
+}
+
+// appendAAD assembles the full CCM AAD (caller AAD plus sequence number and
+// extension flags) into the caller's scratch buffer. S2 AAD is MAC-header
+// sized, so the scratch never overflows in practice; an oversized AAD falls
+// back to an allocation.
+func appendAAD(scratch *[2 * BlockSize]byte, aad []byte, seq, extFlags byte) []byte {
+	var full []byte
+	if len(aad)+2 <= len(scratch) {
+		full = scratch[:0]
+	} else {
+		full = make([]byte, 0, len(aad)+2)
+	}
+	full = append(full, aad...)
+	return append(full, seq, extFlags)
 }
 
 // Encapsulate protects an application payload flowing in the given
@@ -175,21 +201,20 @@ func (s *Session) nonceFor(flow Flow, n uint32) []byte {
 // [COMMAND_CLASS_SECURITY_2, MESSAGE_ENCAPSULATION, seq, extFlags, ct||tag].
 // aad binds the MAC-header fields (home ID, src, dst) into the tag.
 func (s *Session) Encapsulate(flow Flow, aad, plaintext []byte) ([]byte, error) {
-	aead, err := NewCCM(s.ccmKey)
-	if err != nil {
-		return nil, err
-	}
 	seq := s.nextSeq(flow)
 	n := s.ctr[flow]
 	s.ctr[flow] = n + 1
 
-	nonce := s.nonceFor(flow, n)
-	fullAAD := append(append([]byte{}, aad...), seq, 0x00)
-	ct := aead.Seal(nil, nonce, plaintext, fullAAD)
+	var nonce [CCMNonceSize]byte
+	s.nonceFor(&nonce, flow, n)
+	var aadScratch [2 * BlockSize]byte
+	fullAAD := appendAAD(&aadScratch, aad, seq, 0x00)
 
-	out := make([]byte, 0, 4+len(ct))
+	// The returned payload is the only allocation: the AEAD seals straight
+	// into its spare capacity.
+	out := make([]byte, 0, 4+len(plaintext)+CCMTagSize)
 	out = append(out, 0x9F, 0x03, seq, 0x00)
-	out = append(out, ct...)
+	out = s.aead.Seal(out, nonce[:], plaintext, fullAAD)
 	mS2Encrypt.Inc()
 	return out, nil
 }
@@ -212,22 +237,20 @@ func (s *Session) Decapsulate(flow Flow, aad, payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("%w: duplicate sequence %d", ErrS2Desync, seq)
 	}
 
-	aead, err := NewCCM(s.ccmKey)
-	if err != nil {
-		return nil, err
-	}
 	n := s.ctr[flow]
-	nonce := s.nonceFor(flow, n)
-	fullAAD := append(append([]byte{}, aad...), seq, extFlags)
-	pt, err := aead.Open(nil, nonce, payload[4:], fullAAD)
+	var nonce [CCMNonceSize]byte
+	s.nonceFor(&nonce, flow, n)
+	var aadScratch [2 * BlockSize]byte
+	fullAAD := appendAAD(&aadScratch, aad, seq, extFlags)
+	pt, err := s.aead.Open(nil, nonce[:], payload[4:], fullAAD)
 	if err != nil {
 		// A lost frame leaves the sender's counter ahead of ours, so every
 		// later frame fails against the expected nonce. With a recovery
 		// window, probe forward counters; a hit means the message is
 		// genuine and the flow fast-forwards past the gap.
 		for skip := 1; skip <= s.recoveryWindow; skip++ {
-			nonce = s.nonceFor(flow, n+uint32(skip))
-			if pt, err2 := aead.Open(nil, nonce, payload[4:], fullAAD); err2 == nil {
+			s.nonceFor(&nonce, flow, n+uint32(skip))
+			if pt, err2 := s.aead.Open(nil, nonce[:], payload[4:], fullAAD); err2 == nil {
 				s.ctr[flow] = n + uint32(skip) + 1
 				s.lastSeq[flow] = seq
 				s.haveSeq[flow] = true

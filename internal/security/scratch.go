@@ -1,0 +1,27 @@
+package security
+
+import "sync"
+
+// scratch is the set of block-sized temporaries one encapsulation, MAC, or
+// AEAD operation needs. cipher.Block.Encrypt is an interface call, so any
+// stack-declared buffer passed to it is assumed by escape analysis to leak
+// and would heap-allocate on every call; drawing the whole set from a pool
+// instead keeps the per-message crypto paths allocation-free. A scratch is
+// owned by exactly one operation at a time and holds no secrets the caller
+// does not already have (every field is overwritten before use).
+type scratch struct {
+	iv    [BlockSize]byte // S0 OFB/CBC-MAC initialisation vector
+	ks    [BlockSize]byte // keystream block (OFB, CCM CTR)
+	x     [BlockSize]byte // CBC-MAC accumulator (CMAC, S0 MAC, CCM)
+	last  [BlockSize]byte // CMAC final block
+	b0    [BlockSize]byte // CCM B_0 block
+	blk   [BlockSize]byte // CCM first-AAD block
+	ctr   [BlockSize]byte // CCM counter block assembly
+	tagKS [BlockSize]byte // CCM tag keystream (S_0)
+	msg   [96]byte        // S0 MAC message assembly
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return scratchPool.Get().(*scratch) }
+func putScratch(s *scratch) { scratchPool.Put(s) }

@@ -26,7 +26,9 @@ type FrameRecord struct {
 	At time.Time
 	// From is the transmitting transceiver's diagnostic name.
 	From string
-	// Raw is a copy of the frame bytes as transmitted.
+	// Raw holds the frame bytes as transmitted. Inside the recorder's ring
+	// it aliases recycled ring storage; records handed out by Snapshot
+	// carry private copies.
 	Raw []byte
 	// Airtime is how long the frame occupied the medium.
 	Airtime time.Duration
@@ -88,13 +90,17 @@ func (r *FlightRecorder) Recorded() uint64 {
 }
 
 // Record appends one frame, evicting the oldest when full, and returns the
-// assigned sequence number. The record's Raw must already be a private
-// copy; the recorder stores it as given.
+// assigned sequence number. The recorder copies rec.Raw into ring-owned
+// storage (reusing the evicted slot's buffer), so callers may hand in
+// transient or pooled buffers freely: once full, a recorder records frames
+// without allocating.
 func (r *FlightRecorder) Record(rec FrameRecord) uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.seq++
 	rec.Seq = r.seq
+	raw := rec.Raw
+	rec.Raw = append(r.buf[r.next].Raw[:0], raw...)
 	r.buf[r.next] = rec
 	r.next = (r.next + 1) % len(r.buf)
 	if r.n < len(r.buf) {

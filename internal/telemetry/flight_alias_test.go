@@ -1,0 +1,72 @@
+package telemetry
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFlightRecorderCopiesCallerBuffer pins the ownership contract that
+// lets the radio hot path hand pooled buffers to Record: the recorder must
+// copy into ring-owned storage, so mutating (reusing) the caller's buffer
+// afterwards cannot corrupt what was recorded.
+func TestFlightRecorderCopiesCallerBuffer(t *testing.T) {
+	r := NewFlightRecorder(4)
+	buf := []byte{1, 2, 3, 4}
+	r.Record(FrameRecord{At: time.Unix(0, 1), Raw: buf})
+	// Simulate pool reuse: the caller's buffer is overwritten.
+	for i := range buf {
+		buf[i] = 0xFF
+	}
+	snap := r.Snapshot()
+	if len(snap) != 1 || !bytes.Equal(snap[0].Raw, []byte{1, 2, 3, 4}) {
+		t.Fatalf("recorded frame corrupted by buffer reuse: %x", snap[0].Raw)
+	}
+}
+
+// TestFlightRecorderSnapshotSurvivesEviction checks the other aliasing
+// direction: a Snapshot taken earlier must stay intact while recording
+// continues and ring slots (whose storage Record reuses) are evicted.
+func TestFlightRecorderSnapshotSurvivesEviction(t *testing.T) {
+	r := NewFlightRecorder(2)
+	r.Record(FrameRecord{Raw: []byte{0xAA, 0xBB}})
+	snap := r.Snapshot()
+	// Overfill the ring so every slot — including the one holding the
+	// snapshotted frame — gets its storage reused.
+	for i := 0; i < 8; i++ {
+		r.Record(FrameRecord{Raw: []byte{byte(i), byte(i), byte(i)}})
+	}
+	if !bytes.Equal(snap[0].Raw, []byte{0xAA, 0xBB}) {
+		t.Fatalf("snapshot mutated by later recording: %x", snap[0].Raw)
+	}
+}
+
+// TestFlightRecorderConcurrentRecord hammers Record and Snapshot from
+// several goroutines under -race; each goroutine reuses one buffer across
+// its records, exactly like a pooled caller would.
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	r := NewFlightRecorder(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4)
+			for i := 0; i < 100; i++ {
+				buf[0], buf[1], buf[2], buf[3] = byte(w), byte(i), byte(w), byte(i)
+				r.Record(FrameRecord{Raw: buf})
+				if i%10 == 0 {
+					for _, rec := range r.Snapshot() {
+						if len(rec.Raw) != 4 || rec.Raw[0] != rec.Raw[2] || rec.Raw[1] != rec.Raw[3] {
+							t.Errorf("torn record: %x", rec.Raw)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

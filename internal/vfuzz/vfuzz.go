@@ -75,6 +75,12 @@ type Engine struct {
 
 	pending []oracle.Event
 	seen    map[string]bool
+
+	// Per-iteration scratch: nextFrame's result is consumed within one test
+	// cycle (findings copy the trigger payload), so the payload and encode
+	// buffers are recycled across iterations.
+	payloadBuf []byte
+	frameBuf   []byte
 }
 
 // New builds a VFuzz engine against the target controller. Like ZCover,
@@ -89,6 +95,9 @@ func New(d *dongle.Dongle, home protocol.HomeID, target protocol.NodeID, cfg Con
 		cfg:    cfg.withDefaults(),
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		seen:   make(map[string]bool),
+
+		payloadBuf: make([]byte, 9),
+		frameBuf:   make([]byte, 0, protocol.MaxFrameSize),
 	}
 }
 
@@ -171,14 +180,14 @@ func (e *Engine) awaitRecovery(start time.Time) {
 // MAC-field mutations, checksum recomputed unless the checksum itself was
 // the mutation target.
 func (e *Engine) nextFrame() []byte {
-	payload := make([]byte, 2+e.rng.Intn(8))
+	payload := e.payloadBuf[:2+e.rng.Intn(8)]
 	for i := range payload {
 		payload[i] = byte(e.rng.Intn(256))
 	}
 	f := protocol.NewDataFrame(e.home, scan.AttackerNodeID, e.target, payload)
-	raw, err := f.Encode()
+	raw, err := f.AppendEncode(e.frameBuf[:0])
 	if err != nil {
-		raw = []byte{0, 0, 0, 0, 0, 0, 0, 10, 0, 0}
+		raw = append(e.frameBuf[:0], 0, 0, 0, 0, 0, 0, 0, 10, 0, 0)
 	}
 
 	fixChecksum := true

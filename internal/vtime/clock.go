@@ -9,6 +9,18 @@
 // interface instead of the time package. Production-style code paths use
 // SystemClock; simulations and tests use SimClock, which only advances when
 // told to (directly or through its event queue).
+//
+// # Concurrency and pooling
+//
+// SimClock is internally locked and safe for concurrent use, but the
+// simulations in this repository deliberately drive each clock from a
+// single goroutine — determinism comes from the event queue's total order,
+// which concurrent Advance calls would destroy. Parallel fleet campaigns
+// therefore hold one private SimClock each and never share one. Event
+// scheduling is the simulator's busiest allocation site, so fired event
+// structs are recycled on a small per-clock freelist (guarded by the same
+// mutex, bounded so bursts cannot pin memory); callbacks passed to
+// Schedule must not assume identity of the event that carried them.
 package vtime
 
 import "time"

@@ -17,7 +17,16 @@ type SimClock struct {
 	now    time.Time
 	queue  eventQueue
 	nextID uint64
+	// free recycles fired event structs. Event scheduling is the simulator's
+	// single busiest allocation site (every frame airtime, ack timeout, and
+	// retry books an event), so spent events return here instead of to the
+	// garbage collector. Guarded by mu; bounded so an event burst cannot pin
+	// memory forever.
+	free []*event
 }
+
+// maxFreeEvents bounds the recycled-event freelist.
+const maxFreeEvents = 256
 
 var _ Clock = (*SimClock)(nil)
 
@@ -55,8 +64,10 @@ func (c *SimClock) Advance(d time.Duration) {
 // AdvanceTo moves simulated time forward to instant t, firing due events in
 // order. Moving backwards is a no-op.
 func (c *SimClock) AdvanceTo(t time.Time) {
+	var spent *event
 	for {
 		c.mu.Lock()
+		c.recycle(spent)
 		if len(c.queue) == 0 || c.queue[0].at.After(t) {
 			if t.After(c.now) {
 				c.now = t
@@ -70,7 +81,18 @@ func (c *SimClock) AdvanceTo(t time.Time) {
 		}
 		c.mu.Unlock()
 		ev.fn()
+		spent = ev
 	}
+}
+
+// recycle returns a fired event to the freelist, dropping its callback
+// reference so pooled events never pin closures. Callers hold c.mu.
+func (c *SimClock) recycle(ev *event) {
+	if ev == nil || len(c.free) >= maxFreeEvents {
+		return
+	}
+	ev.fn = nil
+	c.free = append(c.free, ev)
 }
 
 // Elapsed reports how much simulated time has passed since the given origin.
@@ -91,7 +113,20 @@ func (c *SimClock) Schedule(delay time.Duration, fn func()) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextID++
-	heap.Push(&c.queue, &event{at: c.now.Add(delay), seq: c.nextID, fn: fn})
+	ev := c.newEvent()
+	ev.at, ev.seq, ev.fn = c.now.Add(delay), c.nextID, fn
+	heap.Push(&c.queue, ev)
+}
+
+// newEvent takes an event from the freelist, or allocates. Callers hold c.mu.
+func (c *SimClock) newEvent() *event {
+	if n := len(c.free); n > 0 {
+		ev := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return ev
+	}
+	return new(event)
 }
 
 // PendingEvents reports the number of scheduled events not yet fired.
@@ -106,11 +141,13 @@ func (c *SimClock) PendingEvents() int {
 // It guards against runaway self-rescheduling with a generous event budget.
 func (c *SimClock) RunUntilIdle() time.Time {
 	const budget = 10_000_000
+	var spent *event
 	for i := 0; ; i++ {
 		if i >= budget {
 			panic(fmt.Sprintf("vtime: RunUntilIdle exceeded %d events; self-rescheduling loop?", budget))
 		}
 		c.mu.Lock()
+		c.recycle(spent)
 		if len(c.queue) == 0 {
 			now := c.now
 			c.mu.Unlock()
@@ -122,6 +159,7 @@ func (c *SimClock) RunUntilIdle() time.Time {
 		}
 		c.mu.Unlock()
 		ev.fn()
+		spent = ev
 	}
 }
 

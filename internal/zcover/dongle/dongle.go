@@ -26,12 +26,15 @@ const (
 	DefaultPingWindow = 200 * time.Millisecond
 )
 
-// Dongle is the attacker's transceiver.
+// Dongle is the attacker's transceiver. Like a campaign's other actors it
+// is confined to the single simulation goroutine, so its capture buffer
+// and scrap list need no locking.
 type Dongle struct {
 	clock *vtime.SimClock
 	trx   *radio.Transceiver
 
 	buffer []radio.Capture
+	scrap  [][]byte // recycled capture-copy buffers for internal exchanges
 	sent   int
 }
 
@@ -39,7 +42,17 @@ type Dongle struct {
 func New(m *radio.Medium, region radio.Region) *Dongle {
 	d := &Dongle{clock: m.Clock()}
 	d.trx = m.Attach("zcover-dongle", region)
-	d.trx.SetReceiver(func(c radio.Capture) { d.buffer = append(d.buffer, c) })
+	d.trx.SetReceiver(func(c radio.Capture) {
+		// Capture.Raw is valid only during the callback, so buffering it
+		// requires a copy; internal exchanges recycle these copies through
+		// d.scrap, making the steady-state fuzzing cycle allocation-free.
+		var buf []byte
+		if n := len(d.scrap); n > 0 {
+			buf, d.scrap = d.scrap[n-1][:0], d.scrap[:n-1]
+		}
+		c.Raw = append(buf, c.Raw...)
+		d.buffer = append(d.buffer, c)
+	})
 	return d
 }
 
@@ -49,11 +62,24 @@ func (d *Dongle) Clock() *vtime.SimClock { return d.clock }
 // PacketsSent reports the number of frames injected so far.
 func (d *Dongle) PacketsSent() int { return d.sent }
 
-// Drain returns and clears the capture buffer.
+// Drain returns and clears the capture buffer. Ownership of the returned
+// captures (including their Raw bytes) transfers to the caller; the dongle
+// starts a fresh buffer rather than recycling theirs.
 func (d *Dongle) Drain() []radio.Capture {
 	out := d.buffer
 	d.buffer = nil
 	return out
+}
+
+// recycleBuffered discards buffered captures, returning their byte copies
+// to the scrap list for the receiver to reuse. Internal exchange paths use
+// this instead of Drain so the hot fuzzing loop does not allocate.
+func (d *Dongle) recycleBuffered() {
+	for i := range d.buffer {
+		d.scrap = append(d.scrap, d.buffer[i].Raw)
+		d.buffer[i] = radio.Capture{}
+	}
+	d.buffer = d.buffer[:0]
 }
 
 // Observe listens for the given window and returns everything captured.
@@ -73,7 +99,11 @@ func (d *Dongle) SendRaw(raw []byte) error {
 // Send crafts and injects a well-formed frame with the given application
 // payload, spoofing src.
 func (d *Dongle) Send(home protocol.HomeID, src, dst protocol.NodeID, payload []byte) error {
-	raw, err := protocol.NewDataFrame(home, src, dst, payload).Encode()
+	// Encode into a pooled buffer; delivery is synchronous, so the medium
+	// is done with the bytes by the time SendRaw returns.
+	buf := protocol.GetBuf()
+	defer protocol.PutBuf(buf)
+	raw, err := protocol.NewDataFrame(home, src, dst, payload).AppendEncode(*buf)
 	if err != nil {
 		return err
 	}
@@ -95,7 +125,7 @@ func (d *Dongle) SendAndObserve(home protocol.HomeID, src, dst protocol.NodeID, 
 	if window <= 0 {
 		window = DefaultResponseWindow
 	}
-	d.Drain()
+	d.recycleBuffered()
 	if err := d.Send(home, src, dst, payload); err != nil {
 		return Exchange{}, err
 	}
@@ -104,11 +134,15 @@ func (d *Dongle) SendAndObserve(home protocol.HomeID, src, dst protocol.NodeID, 
 }
 
 // classify inspects the buffered captures for acks and responses from dst
-// back to the spoofed src.
+// back to the spoofed src, then recycles the capture copies. Responses are
+// handed out with private payload copies, so recycling is invisible to
+// callers.
 func (d *Dongle) classify(home protocol.HomeID, src, dst protocol.NodeID) Exchange {
 	var ex Exchange
-	for _, c := range d.Drain() {
-		f, err := protocol.Decode(c.Raw, protocol.ChecksumCS8)
+	f := protocol.GetFrame()
+	defer protocol.PutFrame(f)
+	for i := range d.buffer {
+		err := protocol.DecodeInto(f, d.buffer[i].Raw, protocol.ChecksumCS8)
 		if err != nil || f.Home != home || f.Src != dst || f.Dst != src {
 			continue
 		}
@@ -120,6 +154,7 @@ func (d *Dongle) classify(home protocol.HomeID, src, dst protocol.NodeID) Exchan
 		resp.Payload = append([]byte{}, f.Payload...)
 		ex.Responses = append(ex.Responses, &resp)
 	}
+	d.recycleBuffered()
 	return ex
 }
 

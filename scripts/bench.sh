@@ -3,14 +3,31 @@
 # machine-readable summary to BENCH_fleet.json. `make bench` wraps it.
 #
 #   ./scripts/bench.sh                 # default: 3 iterations per variant
+#   ./scripts/bench.sh -baseline       # also refresh scripts/bench_baseline.txt
 #   BENCHTIME=10x ./scripts/bench.sh   # more iterations
 #   BENCH_OUT=/tmp/b.json ./scripts/bench.sh
+#   BENCH_RAW=/tmp/b.txt ./scripts/bench.sh   # keep the raw `go test` text
+#
+# The raw text output is what benchstat consumes; -baseline snapshots it to
+# scripts/bench_baseline.txt, the committed reference that `make
+# bench-compare` diffs against.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 benchtime="${BENCHTIME:-3x}"
 out="${BENCH_OUT:-BENCH_fleet.json}"
+keep_raw="${BENCH_RAW:-}"
+baseline=""
+for arg in "$@"; do
+    case "$arg" in
+    -baseline) baseline="yes" ;;
+    *)
+        echo "bench.sh: unknown flag $arg (want -baseline)" >&2
+        exit 2
+        ;;
+    esac
+done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -39,3 +56,11 @@ END { printf "[\n%s\n]\n", lines }
 ' "$raw" > "$out"
 
 echo "bench: wrote $out"
+if [ -n "$keep_raw" ]; then
+    cp "$raw" "$keep_raw"
+    echo "bench: wrote $keep_raw"
+fi
+if [ -n "$baseline" ]; then
+    cp "$raw" scripts/bench_baseline.txt
+    echo "bench: refreshed scripts/bench_baseline.txt"
+fi

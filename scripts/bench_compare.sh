@@ -1,0 +1,64 @@
+#!/bin/sh
+# bench_compare.sh — run the fleet benchmarks and compare against the
+# committed baseline (scripts/bench_baseline.txt). `make bench-compare`
+# wraps it.
+#
+# When benchstat is on PATH the comparison is delegated to it (proper
+# statistics across iterations). Otherwise a plain awk comparator prints
+# old/new/delta for ns/op, B/op, and allocs/op per benchmark — no extra
+# tooling required, which keeps the gate usable in hermetic containers.
+#
+#   ./scripts/bench_compare.sh
+#   BENCHTIME=10x ./scripts/bench_compare.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline="scripts/bench_baseline.txt"
+if [ ! -f "$baseline" ]; then
+    echo "bench_compare: no $baseline — run ./scripts/bench.sh -baseline first" >&2
+    exit 2
+fi
+
+new="$(mktemp)"
+trap 'rm -f "$new"' EXIT
+BENCH_OUT="$(mktemp)" BENCH_RAW="$new" ./scripts/bench.sh >/dev/null 2>&1 || {
+    echo "bench_compare: benchmark run failed; re-running verbosely" >&2
+    BENCH_OUT="$(mktemp)" BENCH_RAW="$new" ./scripts/bench.sh
+}
+
+echo "== compare vs $baseline =="
+if command -v benchstat >/dev/null 2>&1; then
+    benchstat "$baseline" "$new"
+    exit 0
+fi
+
+echo "(benchstat not on PATH; using built-in comparator)"
+# Benchmark lines carry value/unit pairs; index both files by benchmark
+# name (GOMAXPROCS suffix stripped) and print per-metric deltas.
+printf "%-45s %-9s %14s %14s %9s\n" "benchmark" "metric" "old" "new" "delta"
+awk '
+function remember(tbl,    name, i) {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     tbl[name ":ns"] = $i
+        if ($(i+1) == "B/op")      tbl[name ":B"] = $i
+        if ($(i+1) == "allocs/op") tbl[name ":allocs"] = $i
+    }
+    names[name] = 1
+}
+NR == FNR { if ($1 ~ /^Benchmark/) remember(old); next }
+           { if ($1 ~ /^Benchmark/) remember(new) }
+END {
+    for (name in names) {
+        split("ns B allocs", m, " ")
+        for (j in m) {
+            key = name ":" m[j]
+            if (!(key in old) || !(key in new)) continue
+            o = old[key] + 0; n = new[key] + 0
+            d = (o > 0) ? (n - o) * 100.0 / o : 0
+            printf "%-45s %-9s %14.0f %14.0f %+8.1f%%\n", name, m[j], o, n, d
+        }
+    }
+}' "$baseline" "$new" | sort

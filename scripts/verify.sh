@@ -5,18 +5,21 @@
 #   ./scripts/verify.sh          # short suite (fast)
 #   ./scripts/verify.sh -full    # include the 24h-budget campaign tests
 #   ./scripts/verify.sh -fuzz    # also run the fuzz-smoke burst afterwards
+#   ./scripts/verify.sh -bench   # also ratchet allocs/op vs BENCH_fleet.json
 set -eu
 
 cd "$(dirname "$0")/.."
 
 short="-short"
 fuzz=""
+bench=""
 for arg in "$@"; do
     case "$arg" in
     -full) short="" ;;
     -fuzz) fuzz="yes" ;;
+    -bench) bench="yes" ;;
     *)
-        echo "verify.sh: unknown flag $arg (want -full and/or -fuzz)" >&2
+        echo "verify.sh: unknown flag $arg (want -full, -fuzz, and/or -bench)" >&2
         exit 2
         ;;
     esac
@@ -85,6 +88,43 @@ fi
 if [ -n "$fuzz" ]; then
     echo "== fuzz smoke =="
     ./scripts/fuzz_smoke.sh
+fi
+
+if [ -n "$bench" ]; then
+    echo "== allocs/op ratchet (BenchmarkFleetParallelism/workers=1) =="
+    # Fail when the hot-path benchmark's allocs/op regresses more than 10%
+    # over the committed BENCH_fleet.json figure. allocs/op is used because
+    # it is iteration-exact — unlike ns/op it does not wobble with machine
+    # load, so a 2-iteration run gates reliably.
+    bench_raw="$(mktemp)"
+    go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism/workers=1$' \
+        -benchmem -benchtime 2x | tee "$bench_raw"
+    awk '
+    NR == FNR {
+        if ($0 ~ /"name": "BenchmarkFleetParallelism\/workers=1"/) {
+            for (i = 1; i <= NF; i++) if ($i == "\"allocs_per_op\":") {
+                base = $(i+1)
+                sub(/,/, "", base)
+            }
+        }
+        next
+    }
+    /^BenchmarkFleetParallelism/ {
+        for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") now = $i
+    }
+    END {
+        if (base == "" || now == "") {
+            print "allocs ratchet: missing baseline or measurement; skipping"
+            exit 0
+        }
+        limit = base * 1.10
+        if (now + 0 > limit) {
+            printf "allocs ratchet: %d allocs/op exceeds baseline %d by more than 10%%\n", now, base
+            exit 1
+        }
+        printf "allocs ratchet: %d allocs/op within 10%% of baseline %d\n", now, base
+    }' BENCH_fleet.json "$bench_raw"
+    rm -f "$bench_raw"
 fi
 
 echo "verify: OK"
