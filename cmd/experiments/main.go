@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -95,8 +96,23 @@ func run(args []string) error {
 	chaosProfiles := fs.String("chaos-profiles", "", "comma-separated impairment profiles for -run chaos (empty = burst,noise,jitter)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the chaos campaign's fault injectors")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	ckptDir := fs.String("checkpoint-dir", "", "journal completed campaign jobs into this directory (crash-safe; resume with -resume)")
+	resume := fs.Bool("resume", false, "continue existing journals in -checkpoint-dir instead of refusing to overwrite them")
+	shardSpec := fs.String("shard", "", "run only shard i/n of each campaign's job list (e.g. 2/3); requires -checkpoint-dir")
+	merge := fs.Bool("merge", false, "render tables purely from the journals in -checkpoint-dir; nothing executes")
+	buglogOut := fs.String("buglog-out", "", "write every completed campaign's findings to this file as bug-log JSON lines")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	shard, err := fleet.ParseShard(*shardSpec)
+	if err != nil {
+		return err
+	}
+	if (*resume || *merge || shard.Enabled()) && *ckptDir == "" {
+		return fmt.Errorf("-resume, -shard, and -merge need -checkpoint-dir")
+	}
+	if *merge && shard.Enabled() {
+		return fmt.Errorf("-merge renders every shard's journal; drop -shard")
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -110,6 +126,21 @@ func run(args []string) error {
 	// registry accumulates process totals for -metrics-out.
 	fleetCfg := fleet.Config{Workers: *workers, MaxAttempts: *attempts, Telemetry: telemetry.Default()}
 	harness.SetFleetRecorderDepth(*flightDepth)
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			return err
+		}
+		fleetCfg.Checkpoint = &fleet.CheckpointSpec{Dir: *ckptDir, Resume: *resume, Shard: shard, Merge: *merge}
+	}
+	if *buglogOut != "" {
+		bf, err := os.Create(*buglogOut)
+		if err != nil {
+			return err
+		}
+		defer bf.Close()
+		harness.SetBugLog(bf)
+		defer harness.SetBugLog(nil)
+	}
 	if *traceOut != "" {
 		tf, err := os.Create(*traceOut)
 		if err != nil {
@@ -142,6 +173,21 @@ func run(args []string) error {
 	want := func(name string) bool { return *which == "all" || *which == name }
 	ran := false
 
+	// render prints a campaign experiment's output — unless this invocation
+	// ran as a shard, in which case the journal is complete but the table
+	// cannot exist yet; the ShardDone note replaces it and the run goes on.
+	render := func(err error, print func() error) error {
+		var sd *harness.ShardDone
+		if errors.As(err, &sd) {
+			fmt.Println(sd.Error())
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		return print()
+	}
+
 	if want("fig1") {
 		ran = true
 		fmt.Println(zcover.Fig1().String())
@@ -167,37 +213,45 @@ func run(args []string) error {
 		ran = true
 		tbl, _, err := harness.Table3Fleet(*fuzzBudget, fleetCfg)
 		tick.clear()
-		if err != nil {
+		if err := render(err, func() error {
+			fmt.Println(tbl.String())
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(tbl.String())
 	}
 	if want("table4") {
 		ran = true
 		tbl, _, err := harness.Table4Fleet(fleetCfg)
 		tick.clear()
-		if err != nil {
+		if err := render(err, func() error {
+			fmt.Println(tbl.String())
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(tbl.String())
 	}
 	if want("table5") {
 		ran = true
 		tbl, _, err := harness.Table5Fleet(*fuzzBudget, fleetCfg)
 		tick.clear()
-		if err != nil {
+		if err := render(err, func() error {
+			fmt.Println(tbl.String())
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(tbl.String())
 	}
 	if want("table6") {
 		ran = true
 		tbl, _, err := harness.Table6Fleet(*ablation, fleetCfg)
 		tick.clear()
-		if err != nil {
+		if err := render(err, func() error {
+			fmt.Println(tbl.String())
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(tbl.String())
 	}
 	if want("figs8-11") {
 		ran = true
@@ -213,10 +267,12 @@ func run(args []string) error {
 		ran = true
 		tbl, _, err := harness.RemediationFleet(nil, *fuzzBudget, fleetCfg)
 		tick.clear()
-		if err != nil {
+		if err := render(err, func() error {
+			fmt.Println(tbl.String())
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(tbl.String())
 	}
 	if want("trials") {
 		ran = true
@@ -224,11 +280,13 @@ func run(args []string) error {
 		for _, idx := range []string{"D1", "D2", "D3", "D4", "D5", "D6", "D7"} {
 			sum, err := harness.RunTrialsFleet(idx, 5, *fuzzBudget, 300, fleetCfg)
 			tick.clear()
-			if err != nil {
+			if err := render(err, func() error {
+				fmt.Printf("%s: per-trial %v, union %d, stable %v\n",
+					sum.Device, sum.PerTrial, sum.Union, sum.Stable)
+				return nil
+			}); err != nil {
 				return err
 			}
-			fmt.Printf("%s: per-trial %v, union %d, stable %v\n",
-				sum.Device, sum.PerTrial, sum.Union, sum.Stable)
 		}
 		fmt.Println()
 	}
@@ -236,30 +294,32 @@ func run(args []string) error {
 		ran = true
 		csvs, series, err := harness.Fig12Fleet(*fuzzBudget, *window, fleetCfg)
 		tick.clear()
-		if err != nil {
-			return err
-		}
-		for i, s := range series {
-			fmt.Printf("Figure 12(%c): %s — %d unique vulnerabilities, first within %s\n",
-				'a'+i, s.Index, len(s.Discoveries), s.Discoveries[0].Elapsed.Round(time.Second))
-			chart := report.Chart{
-				Title:  fmt.Sprintf("packets over time, %s (first %s)", s.Index, *window),
-				XLabel: "time", YLabel: "test packets",
-			}
-			for _, sample := range s.Samples {
-				chart.Points = append(chart.Points, report.Point{X: sample.Elapsed, Y: sample.Packets})
-			}
-			for _, f := range s.Discoveries {
-				if f.Elapsed <= *window {
-					chart.Points = append(chart.Points, report.Point{X: f.Elapsed, Y: f.Packets, Mark: true})
+		if err := render(err, func() error {
+			for i, s := range series {
+				fmt.Printf("Figure 12(%c): %s — %d unique vulnerabilities, first within %s\n",
+					'a'+i, s.Index, len(s.Discoveries), s.Discoveries[0].Elapsed.Round(time.Second))
+				chart := report.Chart{
+					Title:  fmt.Sprintf("packets over time, %s (first %s)", s.Index, *window),
+					XLabel: "time", YLabel: "test packets",
+				}
+				for _, sample := range s.Samples {
+					chart.Points = append(chart.Points, report.Point{X: sample.Elapsed, Y: sample.Packets})
+				}
+				for _, f := range s.Discoveries {
+					if f.Elapsed <= *window {
+						chart.Points = append(chart.Points, report.Point{X: f.Elapsed, Y: f.Packets, Mark: true})
+					}
+				}
+				fmt.Println(chart.String())
+				name := fmt.Sprintf("fig12_%s.csv", strings.ToLower(s.Index))
+				fmt.Printf("%s:\n%s\n", name, csvs[i].String())
+				if err := writeCSV(name, csvs[i].String()); err != nil {
+					return err
 				}
 			}
-			fmt.Println(chart.String())
-			name := fmt.Sprintf("fig12_%s.csv", strings.ToLower(s.Index))
-			fmt.Printf("%s:\n%s\n", name, csvs[i].String())
-			if err := writeCSV(name, csvs[i].String()); err != nil {
-				return err
-			}
+			return nil
+		}); err != nil {
+			return err
 		}
 	}
 	// The chaos robustness sweep runs only on request: it is not a paper
@@ -272,10 +332,12 @@ func run(args []string) error {
 		}
 		tbl, _, err := harness.ChaosTable5(*fuzzBudget, profiles, *chaosSeed, fleetCfg)
 		tick.clear()
-		if err != nil {
+		if err := render(err, func() error {
+			fmt.Println(tbl.String())
+			return nil
+		}); err != nil {
 			return err
 		}
-		fmt.Println(tbl.String())
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *which)

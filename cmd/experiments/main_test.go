@@ -1,11 +1,79 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunCheapExperiments(t *testing.T) {
 	for _, which := range []string{"fig1", "fig5", "table2", "table4", "figs8-11"} {
 		if err := run([]string{"-run", which}); err != nil {
 			t.Fatalf("%s: %v", which, err)
+		}
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	ferr := f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = orig
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", ferr, out)
+	}
+	return string(out)
+}
+
+// TestShardMergeCLI drives the -checkpoint-dir/-shard/-merge flags end to
+// end on the cheap table4 experiment: two shards journaled separately and
+// merged must print the same table as the plain run.
+func TestShardMergeCLI(t *testing.T) {
+	want := captureStdout(t, func() error { return run([]string{"-run", "table4"}) })
+	dir := t.TempDir()
+	for _, shard := range []string{"1/2", "2/2"} {
+		out := captureStdout(t, func() error {
+			return run([]string{"-run", "table4", "-checkpoint-dir", dir, "-shard", shard})
+		})
+		if !strings.Contains(out, "shard "+shard+" complete") {
+			t.Fatalf("shard %s: no completion note in output:\n%s", shard, out)
+		}
+		if strings.Contains(out, "Table IV") {
+			t.Fatalf("shard %s rendered a partial table", shard)
+		}
+	}
+	got := captureStdout(t, func() error {
+		return run([]string{"-run", "table4", "-checkpoint-dir", dir, "-merge"})
+	})
+	if got != want {
+		t.Errorf("merged table differs from plain run:\n--- plain ---\n%s--- merged ---\n%s", want, got)
+	}
+}
+
+func TestCheckpointFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-run", "table4", "-resume"},
+		{"-run", "table4", "-shard", "1/2"},
+		{"-run", "table4", "-merge"},
+		{"-run", "table4", "-checkpoint-dir", t.TempDir(), "-merge", "-shard", "1/2"},
+		{"-run", "table4", "-checkpoint-dir", t.TempDir(), "-shard", "3/2"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%v: inconsistent checkpoint flags accepted", args)
 		}
 	}
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
 
 func TestRunShortCampaign(t *testing.T) {
 	if err := run([]string{"-target", "D1", "-strategy", "full", "-duration", "20m"}); err != nil {
@@ -22,5 +27,51 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	}
 	if err := run([]string{"-target", "D9"}); err == nil {
 		t.Fatal("accepted unknown target")
+	}
+	if err := run([]string{"-resume"}); err == nil {
+		t.Fatal("accepted -resume without -checkpoint-dir")
+	}
+}
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = orig }()
+	ferr := f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = orig
+	if ferr != nil {
+		t.Fatalf("run failed: %v\noutput:\n%s", ferr, out)
+	}
+	return string(out)
+}
+
+// TestCheckpointReplayCLI: a journaled campaign replayed with -resume
+// must print the exact same report (modulo the replay note) without
+// executing anything, and re-running without -resume must be refused.
+func TestCheckpointReplayCLI(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-target", "D1", "-duration", "2m", "-seed", "41", "-checkpoint-dir", dir}
+	first := capture(t, func() error { return run(args) })
+	if err := run(args); err == nil {
+		t.Fatal("existing journal accepted without -resume")
+	}
+	second := capture(t, func() error { return run(append(args, "-resume")) })
+	const note = "Campaign replayed from checkpoint journal — nothing executed.\n\n"
+	if !strings.Contains(second, note) {
+		t.Fatalf("replay note missing:\n%s", second)
+	}
+	if got := strings.Replace(second, note, "", 1); got != first {
+		t.Errorf("replayed report differs from the original:\n--- first ---\n%s--- replay ---\n%s", first, got)
 	}
 }

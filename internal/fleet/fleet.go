@@ -154,6 +154,11 @@ type Config struct {
 	// device/strategy/attempt attributes) — the fleet half of the trace
 	// stream the pipeline phases also write to.
 	Tracer *telemetry.Tracer
+	// Checkpoint, if set, asks the campaign layer to journal completed
+	// jobs crash-safely and to resume/shard/merge across runs. The fleet
+	// carries the spec but does not interpret it (see CheckpointSpec);
+	// callers install the journal through WithResume.
+	Checkpoint *CheckpointSpec
 }
 
 func (c Config) withDefaults() Config {
@@ -177,6 +182,9 @@ type Result[T any] struct {
 	Err error
 	// Attempts is how many times the job ran (1 = first try succeeded).
 	Attempts int
+	// Cached marks a job whose Value was served from a checkpoint
+	// journal instead of being executed (Attempts is 0 for such jobs).
+	Cached bool
 	// AttemptErrors records each failed attempt's error text, in order.
 	AttemptErrors []string
 	// Wall is the real time the job spent executing (all attempts).
@@ -209,6 +217,14 @@ type Fleet[T any] struct {
 
 	// progressMu serializes OnProgress callbacks.
 	progressMu sync.Mutex
+
+	// cached/persist are the checkpoint-resume hooks (WithResume):
+	// cached short-circuits a job whose outcome is already journaled;
+	// persist makes a freshly completed outcome durable. persistMu
+	// serializes persist so journal appends never interleave.
+	cached    func(i int, job Job) (T, bool)
+	persist   func(i int, job Job, res Result[T]) error
+	persistMu sync.Mutex
 }
 
 // New builds a fleet over the given jobs. Run executes it.
@@ -226,6 +242,18 @@ func New[T any](jobs []Job, runner Runner[T], cfg Config) *Fleet[T] {
 // the whole fleet drains; call it once.
 func Run[T any](jobs []Job, runner Runner[T], cfg Config) []Result[T] {
 	return New(jobs, runner, cfg).Run()
+}
+
+// WithResume installs checkpoint-resume hooks and returns f. cached is
+// consulted before a job executes: a hit yields a Result with Cached set
+// and zero attempts, without building a testbed. persist is invoked once
+// per successfully executed (non-cached) job, serialized across workers;
+// a persist error fails the job — a checkpointed campaign whose journal
+// cannot be written must not pretend its work is durable.
+func (f *Fleet[T]) WithResume(cached func(i int, job Job) (T, bool), persist func(i int, job Job, res Result[T]) error) *Fleet[T] {
+	f.cached = cached
+	f.persist = persist
+	return f
 }
 
 // Run executes the fleet. See the package-level Run.
@@ -249,7 +277,7 @@ func (f *Fleet[T]) Run() []Result[T] {
 			// Each results slot is written by exactly one worker, so the
 			// slice needs no lock; wg.Wait orders the writes before reads.
 			for i := range idx {
-				results[i] = f.execute(f.jobs[i])
+				results[i] = f.execute(i, f.jobs[i])
 			}
 		}()
 	}
@@ -280,8 +308,17 @@ func (f *Fleet[T]) notify() {
 
 // execute runs one job to completion: up to MaxAttempts attempts, each on
 // a fresh testbed, with panics recovered and live metrics rolled back for
-// attempts that fail.
-func (f *Fleet[T]) execute(job Job) Result[T] {
+// attempts that fail. A job whose outcome is already journaled (the
+// WithResume cached hook) is served from the checkpoint without running.
+func (f *Fleet[T]) execute(i int, job Job) Result[T] {
+	if f.cached != nil {
+		if val, ok := f.cached(i, job); ok {
+			f.c.queued.Add(-1)
+			f.c.done.Add(1)
+			f.notify()
+			return Result[T]{Job: job, Value: val, Cached: true}
+		}
+	}
 	f.c.queued.Add(-1)
 	f.c.running.Add(1)
 	f.notify()
@@ -318,6 +355,15 @@ func (f *Fleet[T]) execute(job Job) Result[T] {
 		span.SetAttr("outcome", "done")
 	}
 	_ = span.End()
+
+	if res.Err == nil && f.persist != nil {
+		f.persistMu.Lock()
+		err := f.persist(i, job, res)
+		f.persistMu.Unlock()
+		if err != nil {
+			res.Err = fmt.Errorf("fleet: job %s: checkpointing result: %w", job.Label(), err)
+		}
+	}
 
 	f.c.running.Add(-1)
 	if res.Err != nil {

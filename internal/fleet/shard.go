@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard is a deterministic subset assignment over a job list: shard i of
+// n owns every job whose index is congruent to i-1 modulo n (round-robin,
+// so long and short jobs spread evenly across shards). The zero value is
+// "no sharding" — it owns every job.
+//
+// Sharding composes with the fleet's determinism invariant: because each
+// job is self-contained and seeded, the union of the n shards' results is
+// byte-identical to the 1-shard run, whatever machines the shards ran on.
+type Shard struct {
+	// Index is the 1-based shard number, in [1, Count].
+	Index int
+	// Count is the total number of shards.
+	Count int
+}
+
+// ParseShard parses the "i/n" command-line form ("2/3" = second of three
+// shards). The empty string parses to the zero Shard (no sharding).
+func ParseShard(s string) (Shard, error) {
+	if s == "" {
+		return Shard{}, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("fleet: shard %q: want i/n, e.g. 2/3", s)
+	}
+	idx, err := strconv.Atoi(i)
+	if err != nil {
+		return Shard{}, fmt.Errorf("fleet: shard %q: bad index: %w", s, err)
+	}
+	cnt, err := strconv.Atoi(n)
+	if err != nil {
+		return Shard{}, fmt.Errorf("fleet: shard %q: bad count: %w", s, err)
+	}
+	if cnt < 1 || idx < 1 || idx > cnt {
+		return Shard{}, fmt.Errorf("fleet: shard %q: index must be in [1, %d]", s, cnt)
+	}
+	if cnt == 1 {
+		return Shard{}, nil // 1/1 is the unsharded run
+	}
+	return Shard{Index: idx, Count: cnt}, nil
+}
+
+// Enabled reports whether this value actually splits the job list.
+func (s Shard) Enabled() bool { return s.Count > 1 }
+
+// Owns reports whether job index i (0-based, over the full job list)
+// belongs to this shard. The zero Shard owns everything.
+func (s Shard) Owns(i int) bool {
+	if !s.Enabled() {
+		return true
+	}
+	return i%s.Count == s.Index-1
+}
+
+// Indices returns the 0-based job indices this shard owns out of total.
+func (s Shard) Indices(total int) []int {
+	var out []int
+	for i := 0; i < total; i++ {
+		if s.Owns(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the "i/n" form ("" for the zero Shard).
+func (s Shard) String() string {
+	if !s.Enabled() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", s.Index, s.Count)
+}
+
+// CheckpointSpec asks the campaign layer to journal completed jobs
+// crash-safely and to resume, shard, or merge from existing journals.
+// The fleet itself treats the spec as data — internal/harness interprets
+// it around the fleet via internal/checkpoint (the fleet cannot, because
+// only the caller knows how to serialise its result type T).
+type CheckpointSpec struct {
+	// Dir is the checkpoint directory holding one journal per
+	// (campaign, shard). Empty disables checkpointing.
+	Dir string
+	// Resume permits continuing an existing journal; without it an
+	// existing journal is an error (refusing to double-run a campaign
+	// by accident).
+	Resume bool
+	// Shard restricts execution to a subset of the job list; the other
+	// shards' journals are merged later. Zero value = run everything.
+	Shard Shard
+	// Merge renders results purely from the journals already in Dir —
+	// nothing executes. All shards must be present and complete.
+	Merge bool
+}

@@ -68,7 +68,7 @@ func ChaosTable5(duration time.Duration, profiles []string, chaosSeed int64, cfg
 			})
 		}
 	}
-	outs, err := runCampaigns(jobs, cfg)
+	outs, err := runCampaigns("chaos", jobs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

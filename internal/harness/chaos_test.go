@@ -40,7 +40,7 @@ func TestChaosTable5ByteIdenticalAcrossWorkers(t *testing.T) {
 // ApplyChaos refuses to install an injector that cannot inject.
 func TestChaosNoneProfileIsCleanRun(t *testing.T) {
 	seed := deviceSeed("D1")
-	outs, err := runCampaigns([]fleet.Job{
+	outs, err := runCampaigns("chaos-test", []fleet.Job{
 		{Name: "clean", Device: "D1", Strategy: fuzz.StrategyFull, Seed: seed, Budget: fleetTestBudget},
 		{Name: "none", Device: "D1", Strategy: fuzz.StrategyFull, Seed: seed, Budget: fleetTestBudget,
 			ChaosProfile: "none", ChaosSeed: 7},
@@ -73,7 +73,7 @@ func TestChaosBadProfileFailsFast(t *testing.T) {
 // checks the wiring end to end: the injector actually fired, and every
 // finding carries a well-formed confidence grade.
 func TestChaosImpairedCampaignGradesFindings(t *testing.T) {
-	outs, err := runCampaigns([]fleet.Job{
+	outs, err := runCampaigns("chaos-test", []fleet.Job{
 		{Name: "stress", Device: "D1", Strategy: fuzz.StrategyFull, Seed: deviceSeed("D1"),
 			Budget: fleetTestBudget, ChaosProfile: "lossy", ChaosSeed: 3},
 	}, fleet.Config{Workers: 1})

@@ -117,7 +117,7 @@ func Table3Fleet(duration time.Duration, cfg fleet.Config) (*report.Table, *Tabl
 			Strategy: fuzz.StrategyFull, Seed: deviceSeed(p.Index), Budget: duration,
 		})
 	}
-	outs, err := runCampaigns(jobs, cfg)
+	outs, err := runCampaigns("table3", jobs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -206,7 +206,7 @@ func Table4Fleet(cfg fleet.Config) (*report.Table, []Table4Row, error) {
 			Strategy: fuzz.StrategyFull, Seed: deviceSeed(p.Index), Budget: time.Second,
 		})
 	}
-	outs, err := runCampaigns(jobs, cfg)
+	outs, err := runCampaigns("table4", jobs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -269,7 +269,7 @@ func Table5Fleet(duration time.Duration, cfg fleet.Config) (*report.Table, []Tab
 			fleet.Job{Name: "table5/" + idx + "/zcover", Device: idx,
 				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration})
 	}
-	outs, err := runCampaigns(jobs, cfg)
+	outs, err := runCampaigns("table5", jobs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -346,7 +346,7 @@ func Table6Fleet(duration time.Duration, fcfg fleet.Config) (*report.Table, []Ta
 			Strategy: cfg.strategy, Seed: cfg.seed, Budget: duration,
 		})
 	}
-	outs, err := runCampaigns(jobs, fcfg)
+	outs, err := runCampaigns("table6", jobs, fcfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -397,7 +397,7 @@ func Fig12Fleet(duration, window time.Duration, cfg fleet.Config) ([]*report.CSV
 			Strategy: fuzz.StrategyFull, Seed: deviceSeed(idx), Budget: duration,
 		})
 	}
-	outs, err := runCampaigns(jobs, cfg)
+	outs, err := runCampaigns("fig12", jobs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

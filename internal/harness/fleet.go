@@ -72,15 +72,33 @@ func RunFleetJob(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (Fleet
 // runCampaigns executes the jobs through the fleet with all-or-nothing
 // semantics: every table needs every row, so the first failed job's error
 // (in job order, deterministically) aborts the driver. Successful outcomes
-// come back index-aligned with jobs.
-func runCampaigns(jobs []fleet.Job, cfg fleet.Config) ([]FleetOutcome, error) {
-	results := fleet.Run(jobs, RunFleetJob, cfg)
-	if err := fleet.FirstError(results); err != nil {
+// come back index-aligned with jobs. name identifies the campaign for
+// checkpoint journals and must be stable across invocations.
+//
+// With cfg.Checkpoint set, execution goes through the crash-safe journal
+// path in checkpoint.go: completed jobs are replayed instead of re-run,
+// sharded invocations stop after their subset with a *ShardDone error,
+// and merge mode renders purely from journals.
+func runCampaigns(name string, jobs []fleet.Job, cfg fleet.Config) ([]FleetOutcome, error) {
+	outs, err := func() ([]FleetOutcome, error) {
+		if cfg.Checkpoint != nil && cfg.Checkpoint.Dir != "" {
+			return runCheckpointed(name, jobs, cfg)
+		}
+		results := fleet.Run(jobs, RunFleetJob, cfg)
+		if err := fleet.FirstError(results); err != nil {
+			return nil, err
+		}
+		outs := make([]FleetOutcome, len(results))
+		for i := range results {
+			outs[i] = results[i].Value
+		}
+		return outs, nil
+	}()
+	if err != nil {
 		return nil, err
 	}
-	outs := make([]FleetOutcome, len(results))
-	for i := range results {
-		outs[i] = results[i].Value
+	if err := writeBugLog(outs); err != nil {
+		return nil, err
 	}
 	return outs, nil
 }

@@ -152,7 +152,7 @@ func TestCampaignsDetachBusObservers(t *testing.T) {
 // the β/γ strategies skip discovery, so the campaign must not overwrite
 // the engine's count with the zero-value Discovery's.
 func TestBetaStrategyKeepsEngineCommandCount(t *testing.T) {
-	outs, err := runCampaigns([]fleet.Job{
+	outs, err := runCampaigns("fleet-test", []fleet.Job{
 		{Name: "beta", Device: "D1", Strategy: fuzz.StrategyKnownOnly, Seed: 41, Budget: time.Minute},
 	}, fleet.Config{Workers: 1})
 	if err != nil {

@@ -55,7 +55,7 @@ func RemediationFleet(devices []string, duration time.Duration, cfg fleet.Config
 			fleet.Job{Name: "remediation/" + idx + "/patched", Device: idx, Patched: true,
 				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration})
 	}
-	outs, err := runCampaigns(jobs, cfg)
+	outs, err := runCampaigns("remediation", jobs, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -45,7 +45,7 @@ func RunTrialsFleet(index string, n int, duration time.Duration, baseSeed int64,
 			Strategy: fuzz.StrategyFull, Seed: baseSeed + int64(trial), Budget: duration,
 		})
 	}
-	outs, err := runCampaigns(jobs, cfg)
+	outs, err := runCampaigns("trials/"+index, jobs, cfg)
 	if err != nil {
 		return TrialSummary{}, err
 	}

@@ -48,8 +48,19 @@ go build ./...
 
 echo "== go test -race -cover $short =="
 cover_raw="$(mktemp)"
-trap 'rm -f "$cover_raw"' EXIT
-go test -race -cover $short ./... | tee "$cover_raw"
+test_status="$(mktemp)"
+trap 'rm -f "$cover_raw" "$test_status"' EXIT
+# Plain-sh pitfall: `go test | tee` exits with tee's status, so `set -eu`
+# would sail past test failures. Smuggle the real status through a file.
+{ go test -race -cover $short ./... || echo "$?" > "$test_status"; } | tee "$cover_raw"
+if [ -s "$test_status" ]; then
+    echo "verify: go test failed (exit $(cat "$test_status"))" >&2
+    exit "$(cat "$test_status")"
+fi
+# CI uploads the raw coverage output as an artifact when asked.
+if [ -n "${COVER_OUT:-}" ]; then
+    cp "$cover_raw" "$COVER_OUT"
+fi
 
 echo "== coverage baseline =="
 baseline="scripts/coverage_baseline.txt"
@@ -78,7 +89,9 @@ if [ -f "$baseline" ]; then
                 bad = 1
             }
         }
-        if (!bad) print "coverage: all packages within " drop " pts of baseline"
+        for (pkg in cov) if (!(pkg in base))
+            printf "coverage: warning: %s is not baselined; run scripts/coverage_baseline.sh -add-missing\n", pkg
+        if (!bad) print "coverage: all baselined packages within " drop " pts"
         exit bad
     }' "$baseline" "$cover_raw"
 else
@@ -97,8 +110,15 @@ if [ -n "$bench" ]; then
     # it is iteration-exact — unlike ns/op it does not wobble with machine
     # load, so a 2-iteration run gates reliably.
     bench_raw="$(mktemp)"
-    go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism/workers=1$' \
-        -benchmem -benchtime 2x | tee "$bench_raw"
+    bench_status="$(mktemp)"
+    { go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism/workers=1$' \
+        -benchmem -benchtime 2x || echo "$?" > "$bench_status"; } | tee "$bench_raw"
+    if [ -s "$bench_status" ]; then
+        echo "verify: benchmark run failed (exit $(cat "$bench_status"))" >&2
+        rm -f "$bench_raw" "$bench_status"
+        exit 1
+    fi
+    rm -f "$bench_status"
     awk '
     NR == FNR {
         if ($0 ~ /"name": "BenchmarkFleetParallelism\/workers=1"/) {

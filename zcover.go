@@ -93,6 +93,9 @@ type (
 	// Confidence is the oracle's grade for a finding: confirmed, or suspect
 	// when it overlapped an injected channel fault.
 	Confidence = oracle.Confidence
+	// CampaignKey identifies a single-campaign checkpoint journal: every
+	// input that determines the campaign's output.
+	CampaignKey = harness.CampaignKey
 )
 
 // Oracle confidence grades.
@@ -155,6 +158,15 @@ func RunObserved(tb *Testbed, strategy Strategy, duration time.Duration, seed in
 // identical to Run.
 func RunWith(tb *Testbed, strategy Strategy, duration time.Duration, seed int64, opts Options) (*Campaign, error) {
 	return harness.RunZCoverWith(tb, strategy, duration, seed, opts)
+}
+
+// RunResumable is RunWith behind a crash-safe checkpoint journal in dir: a
+// campaign already journaled for the same key is replayed byte-identically
+// (resumed=true) instead of re-executing, and a fresh run journals its
+// outcome before returning. An existing journal is refused unless resume
+// is set, so a campaign is never double-run by accident.
+func RunResumable(dir string, resume bool, key CampaignKey, tb *Testbed, opts Options) (*Campaign, bool, error) {
+	return harness.RunZCoverResumable(dir, resume, key, tb, opts)
 }
 
 // RunBaseline executes the VFuzz baseline against the testbed's controller

@@ -58,6 +58,42 @@ func TestPublicAPICatalog(t *testing.T) {
 	}
 }
 
+// TestPublicAPIResumableCampaign: the checkpointed single-campaign entry
+// point journals a fresh run and replays it on resume with identical
+// findings.
+func TestPublicAPIResumableCampaign(t *testing.T) {
+	dir := t.TempDir()
+	key := zcover.CampaignKey{
+		Target: "D1", Strategy: zcover.StrategyFull, Duration: 2 * time.Minute, Seed: 41,
+	}
+	tb, err := zcover.NewTestbed("D1", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, resumed, err := zcover.RunResumable(dir, false, key, tb, zcover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("fresh campaign claimed to be resumed")
+	}
+	tb2, err := zcover.NewTestbed("D1", 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, resumed, err := zcover.RunResumable(dir, true, key, tb2, zcover.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed {
+		t.Fatal("journaled campaign re-ran instead of replaying")
+	}
+	if len(c1.Fuzz.Findings) != len(c2.Fuzz.Findings) || c1.Fuzz.PacketsSent != c2.Fuzz.PacketsSent {
+		t.Errorf("replay diverged: %d/%d findings, %d/%d packets",
+			len(c1.Fuzz.Findings), len(c2.Fuzz.Findings), c1.Fuzz.PacketsSent, c2.Fuzz.PacketsSent)
+	}
+}
+
 func TestPublicAPIExperimentDrivers(t *testing.T) {
 	if tbl := zcover.Fig1(); len(tbl.Rows) == 0 {
 		t.Error("Fig1 empty")
