@@ -82,7 +82,7 @@ func (t *ticker) clear() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, fig12, trials, remediation, chaos")
+	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, covfuzz, fig12, trials, remediation, chaos")
 	fuzzBudget := fs.Duration("fuzz", 24*time.Hour, "fuzzing budget for the campaign experiments (paper: 24h)")
 	ablation := fs.Duration("ablation", time.Hour, "budget for the ablation study (paper: 1h)")
 	window := fs.Duration("window", 800*time.Second, "figure 12 plot window (paper: ~800s)")
@@ -234,6 +234,17 @@ func run(args []string) error {
 	if want("table5") {
 		ran = true
 		tbl, _, err := harness.Table5Fleet(*fuzzBudget, fleetCfg)
+		tick.clear()
+		if err := render(err, func() error {
+			fmt.Println(tbl.String())
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	if want("covfuzz") {
+		ran = true
+		tbl, _, err := harness.CovFuzzTable(*fuzzBudget, fleetCfg)
 		tick.clear()
 		if err := render(err, func() error {
 			fmt.Println(tbl.String())

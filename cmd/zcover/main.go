@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -44,12 +45,30 @@ func run(args []string) error {
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the fault injector's impairment streams")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	ckptDir := fs.String("checkpoint-dir", "", "journal the campaign outcome into this directory (crash-safe; replay with -resume)")
-	resume := fs.Bool("resume", false, "continue an existing journal in -checkpoint-dir instead of refusing to overwrite it")
+	resume := fs.Bool("resume", false, "continue an existing journal in -checkpoint-dir or -corpus-dir instead of refusing to overwrite it")
+	fuzzMode := fs.String("fuzz-mode", "zcover", "fuzzing engine: zcover (generational Algorithm 1) or coverage (behavioral-coverage-guided)")
+	corpusDir := fs.String("corpus-dir", "", "coverage mode: journal every admitted corpus seed into this directory (crash-safe; resumable with -resume)")
+	coverageOut := fs.String("coverage-out", "", "coverage mode: write the final coverage-map stats to this file as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *resume && *ckptDir == "" {
-		return fmt.Errorf("-resume needs -checkpoint-dir")
+	if *resume && *ckptDir == "" && *corpusDir == "" {
+		return fmt.Errorf("-resume needs -checkpoint-dir or -corpus-dir")
+	}
+	switch *fuzzMode {
+	case "zcover":
+		if *corpusDir != "" || *coverageOut != "" {
+			return fmt.Errorf("-corpus-dir and -coverage-out need -fuzz-mode coverage")
+		}
+	case "coverage":
+		if *ckptDir != "" {
+			return fmt.Errorf("coverage mode persists through -corpus-dir, not -checkpoint-dir")
+		}
+		if *strategy != "full" {
+			return fmt.Errorf("coverage mode always runs the full discovery pipeline; drop -strategy")
+		}
+	default:
+		return fmt.Errorf("unknown fuzz mode %q (want zcover or coverage)", *fuzzMode)
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -104,6 +123,42 @@ func run(args []string) error {
 		defer tf.Close()
 		opts.Tracer = telemetry.NewTracer(tf, nil)
 	}
+	if *fuzzMode == "coverage" {
+		if *corpusDir != "" {
+			if err := os.MkdirAll(*corpusDir, 0o755); err != nil {
+				return err
+			}
+		}
+		res, err := zcover.RunCoverageWith(tb, *duration, *seed, opts,
+			zcover.CovFuzzOptions{CorpusDir: *corpusDir, Resume: *resume, Minimize: true})
+		if err != nil {
+			return err
+		}
+		if *metricsOut != "" {
+			if err := telemetry.Default().WriteFile(*metricsOut); err != nil {
+				return err
+			}
+		}
+		if *coverageOut != "" {
+			b, err := json.MarshalIndent(res.Coverage, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*coverageOut, append(b, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Println("Phase 3 — behavioral-coverage-guided fuzzing")
+		fmt.Printf("  packets sent  %d\n", res.PacketsSent)
+		fmt.Printf("  elapsed       %s (simulated)\n", res.Elapsed.Round(time.Second))
+		fmt.Printf("  corpus seeds  %d (%d minimised)\n", res.CorpusSize, res.SeedsMinimized)
+		fmt.Printf("  map features  %d (density %.5f over %d novel inputs)\n",
+			res.Coverage.Features, res.Coverage.Density, res.Coverage.NovelInputs)
+		fmt.Printf("  duplicates    %d\n\n", res.Duplicates)
+		printFindings(res.Findings)
+		return nil
+	}
+
 	var c *zcover.Campaign
 	resumed := false
 	if *ckptDir != "" {
@@ -159,11 +214,18 @@ func run(args []string) error {
 	}
 	fmt.Println()
 
+	printFindings(c.Fuzz.Findings)
+	return nil
+}
+
+// printFindings renders the unique-vulnerability table shared by both
+// fuzzing modes.
+func printFindings(findings []zcover.Finding) {
 	tbl := &report.Table{
-		Title:   fmt.Sprintf("Unique vulnerabilities (%d)", len(c.Fuzz.Findings)),
+		Title:   fmt.Sprintf("Unique vulnerabilities (%d)", len(findings)),
 		Headers: []string{"#", "Elapsed", "Packet", "Signature", "Outage", "Paper bug", "Trigger payload"},
 	}
-	for i, f := range c.Fuzz.Findings {
+	for i, f := range findings {
 		ref := "-"
 		if bug, ok := findBug(f.Signature); ok {
 			ref = fmt.Sprintf("Bug %02d (%s)", bug.ID, bug.Confirmed)
@@ -181,7 +243,6 @@ func run(args []string) error {
 			fmt.Sprintf("% X", f.TriggerPayload))
 	}
 	fmt.Print(tbl.String())
-	return nil
 }
 
 // findBug resolves a signature against the paper catalogue.

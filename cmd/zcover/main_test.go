@@ -75,3 +75,61 @@ func TestCheckpointReplayCLI(t *testing.T) {
 		t.Errorf("replayed report differs from the original:\n--- first ---\n%s--- replay ---\n%s", first, got)
 	}
 }
+
+func TestCoverageModeRejectsBadFlagCombos(t *testing.T) {
+	bad := [][]string{
+		{"-fuzz-mode", "sideways"},
+		{"-corpus-dir", "x"},   // needs coverage mode
+		{"-coverage-out", "x"}, // needs coverage mode
+		{"-fuzz-mode", "coverage", "-checkpoint-dir", "x"},
+		{"-fuzz-mode", "coverage", "-strategy", "beta"},
+	}
+	for _, args := range bad {
+		if err := run(args); err == nil {
+			t.Errorf("accepted %v", args)
+		}
+	}
+}
+
+// TestCoverageModeCLI drives the coverage-guided engine end to end from
+// the CLI: campaign summary + findings table, corpus journal on disk,
+// coverage-map JSON out, and a byte-identical -resume replay.
+func TestCoverageModeCLI(t *testing.T) {
+	dir := t.TempDir()
+	covOut := dir + "/cov.json"
+	args := []string{"-target", "D1", "-fuzz-mode", "coverage", "-duration", "10m",
+		"-seed", "7", "-corpus-dir", dir, "-coverage-out", covOut,
+		"-metrics-out", dir + "/metrics.json"}
+	first := capture(t, func() error { return run(args) })
+	if !strings.Contains(first, "behavioral-coverage-guided fuzzing") ||
+		!strings.Contains(first, "corpus seeds") {
+		t.Fatalf("summary missing:\n%s", first)
+	}
+	if !strings.Contains(first, "Unique vulnerabilities") {
+		t.Fatalf("findings table missing:\n%s", first)
+	}
+	cov1, err := os.ReadFile(covOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cov1), `"features"`) {
+		t.Fatalf("coverage map JSON malformed:\n%s", cov1)
+	}
+
+	// An existing corpus journal is refused without -resume...
+	if err := run(args); err == nil {
+		t.Fatal("existing corpus journal accepted without -resume")
+	}
+	// ...and replays the identical campaign with it.
+	second := capture(t, func() error { return run(append(args, "-resume")) })
+	if second != first {
+		t.Errorf("resumed campaign output differs:\n--- first ---\n%s--- resume ---\n%s", first, second)
+	}
+	cov2, err := os.ReadFile(covOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cov1) != string(cov2) {
+		t.Error("resumed coverage map differs")
+	}
+}

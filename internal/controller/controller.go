@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"zcover/internal/cmdclass"
+	"zcover/internal/coverage"
 	"zcover/internal/device"
 	"zcover/internal/oracle"
 	"zcover/internal/protocol"
@@ -46,6 +47,11 @@ type Controller struct {
 	hidden   map[cmdclass.ClassID]bool // implemented but not in the NIF
 	nifSeq   byte
 	stats    Stats
+
+	// cov, when non-nil, receives behavioral-coverage observations from
+	// the dispatch and Serial API paths (SetCoverage). Nil-guarded at
+	// every call site so the disabled hot path pays one pointer compare.
+	cov *coverage.Collector
 
 	inclusionUntil time.Time
 	exclusionUntil time.Time
@@ -120,6 +126,12 @@ func hiddenImplemented(p Profile) map[cmdclass.ClassID]bool {
 	}
 	return out
 }
+
+// SetCoverage attaches (or, with nil, detaches) a behavioral-coverage
+// collector. The collector is not thread-safe; attach one collector per
+// campaign, on the campaign's own testbed, for the duration of its
+// fuzzing phase.
+func (c *Controller) SetCoverage(cov *coverage.Collector) { c.cov = cov }
 
 // Node exposes the controller's radio node.
 func (c *Controller) Node() *device.Node { return c.node }
@@ -285,6 +297,9 @@ func (c *Controller) dispatch(f *protocol.Frame) {
 			plain, err := s.Decapsulate(security.FlowBtoA, c.aad(f.Src, f.Dst), payload)
 			if err == nil {
 				c.stats.SecureFrames++
+				if c.cov != nil && len(plain) >= 2 {
+					c.cov.OnDispatch(plain[0], plain[1], 0, true)
+				}
 				c.consumeSecured(f.Src, plain)
 				return
 			}

@@ -26,6 +26,9 @@ func (c *Controller) dispatchPayload(src protocol.NodeID, payload []byte, depth 
 	class := cmdclass.ClassID(payload[0])
 	cmd := cmdclass.CommandID(payload[1])
 	inner := payload[2:]
+	if c.cov != nil {
+		c.cov.OnDispatch(payload[0], payload[1], depth, false)
+	}
 
 	if depth < maxEncapDepth {
 		switch {

@@ -18,6 +18,9 @@ var _ serialapi.Chip = (*Controller)(nil)
 
 // SerialCall implements serialapi.Chip.
 func (c *Controller) SerialCall(funcID byte, data []byte) ([]byte, bool) {
+	if c.cov != nil {
+		c.cov.OnSerial(funcID)
+	}
 	switch funcID {
 	case serialapi.FuncGetVersion:
 		v := c.profile.FirmwareVersion

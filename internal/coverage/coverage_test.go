@@ -1,0 +1,164 @@
+package coverage
+
+import (
+	"testing"
+)
+
+func TestFirstSightingIsNovel(t *testing.T) {
+	c := NewCollector()
+	c.BeginInput()
+	c.OnDispatch(0x25, 0x01, 0, false)
+	if n := c.EndInput(); n == 0 {
+		t.Fatal("first dispatch feature should be novel")
+	}
+	if c.Features() != 1 {
+		t.Fatalf("Features = %d, want 1", c.Features())
+	}
+
+	// The identical footprint again: nothing new.
+	c.BeginInput()
+	c.OnDispatch(0x25, 0x01, 0, false)
+	if n := c.EndInput(); n != 0 {
+		t.Fatalf("repeat footprint reported %d new features, want 0", n)
+	}
+}
+
+func TestAxesAreDistinguished(t *testing.T) {
+	c := NewCollector()
+	base := func() {
+		c.BeginInput()
+		c.OnDispatch(0x25, 0x01, 0, false)
+		c.EndInput()
+	}
+	base()
+
+	cases := []struct {
+		name string
+		hit  func()
+	}{
+		{"deeper encapsulation", func() { c.OnDispatch(0x25, 0x01, 1, false) }},
+		{"secure arrival", func() { c.OnDispatch(0x25, 0x01, 0, true) }},
+		{"different command", func() { c.OnDispatch(0x25, 0x02, 0, false) }},
+		{"different class", func() { c.OnDispatch(0x26, 0x01, 0, false) }},
+		{"serial handler", func() { c.OnSerial(0x02) }},
+		{"oracle event", func() { c.OnOracle(8, 0x25, 0x01) }},
+	}
+	for _, tc := range cases {
+		c.BeginInput()
+		tc.hit()
+		if n := c.EndInput(); n == 0 {
+			t.Errorf("%s: not novel against plain dispatch, want novel", tc.name)
+		}
+	}
+}
+
+func TestHitCountClassesAreFeatures(t *testing.T) {
+	c := NewCollector()
+	c.BeginInput()
+	c.OnDispatch(0x60, 0x0D, 0, false)
+	if c.EndInput() == 0 {
+		t.Fatal("single hit should be novel")
+	}
+
+	// Same bucket, higher count class: novel again.
+	c.BeginInput()
+	for i := 0; i < 5; i++ {
+		c.OnDispatch(0x60, 0x0D, 0, false)
+	}
+	if c.EndInput() == 0 {
+		t.Fatal("new hit-count class of a known bucket should be novel")
+	}
+	// Still one distinct bucket.
+	if c.Features() != 1 {
+		t.Fatalf("Features = %d, want 1 (count classes share the bucket)", c.Features())
+	}
+
+	// A count inside an already-seen class: nothing new.
+	c.BeginInput()
+	for i := 0; i < 5; i++ {
+		c.OnDispatch(0x60, 0x0D, 0, false)
+	}
+	if n := c.EndInput(); n != 0 {
+		t.Fatalf("repeated count class reported %d new features", n)
+	}
+}
+
+func TestDeterministicAcrossCollectors(t *testing.T) {
+	run := func() (int, float64, uint64) {
+		c := NewCollector()
+		for i := 0; i < 300; i++ {
+			c.BeginInput()
+			c.OnDispatch(byte(i), byte(i*7), i%4, i%2 == 0)
+			c.OnSerial(byte(i % 16))
+			if i%5 == 0 {
+				c.OnOracle(i%10+1, byte(i), byte(i+1))
+			}
+			c.EndInput()
+		}
+		return c.Features(), c.Density(), c.NovelInputs()
+	}
+	f1, d1, n1 := run()
+	f2, d2, n2 := run()
+	if f1 != f2 || d1 != d2 || n1 != n2 {
+		t.Fatalf("two identical runs diverged: (%d,%v,%d) vs (%d,%v,%d)", f1, d1, n1, f2, d2, n2)
+	}
+	if f1 == 0 {
+		t.Fatal("no features recorded")
+	}
+}
+
+func TestNilCollectorHooksAreSafe(t *testing.T) {
+	var c *Collector
+	c.OnDispatch(0x25, 0x01, 0, false)
+	c.OnSerial(0x02)
+	c.OnOracle(1, 0x25, 0x01)
+}
+
+func TestRecordingAllocatesNothing(t *testing.T) {
+	c := NewCollector()
+	// Warm the touched list so append capacity is steady-state.
+	c.BeginInput()
+	for i := 0; i < 256; i++ {
+		c.OnDispatch(byte(i), byte(i), 0, false)
+	}
+	c.EndInput()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c.BeginInput()
+		for i := 0; i < 64; i++ {
+			c.OnDispatch(byte(i), byte(i), 0, false)
+		}
+		c.EndInput()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state measurement allocated %v times per input, want 0", allocs)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	c := NewCollector()
+	c.BeginInput()
+	c.OnDispatch(0x25, 0x01, 0, false)
+	c.EndInput()
+	s := c.Stats()
+	if s.Features != 1 || s.Inputs != 1 || s.NovelInputs != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if s.Density <= 0 || s.Density >= 1 {
+		t.Fatalf("Density = %v, want in (0,1)", s.Density)
+	}
+}
+
+func BenchmarkRecordDispatch(b *testing.B) {
+	c := NewCollector()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			c.BeginInput()
+		}
+		c.OnDispatch(byte(i), byte(i>>8), i%4, false)
+		if i%64 == 63 {
+			c.EndInput()
+		}
+	}
+}

@@ -70,6 +70,12 @@ type Job struct {
 	Strategy fuzz.Strategy
 	// Baseline runs the VFuzz baseline instead of the ZCover pipeline.
 	Baseline bool
+	// FuzzMode selects the engine for ZCover jobs: "" is the generational
+	// Algorithm 1 engine, ModeCoverage the coverage-guided one.
+	FuzzMode string
+	// Frames, when positive, caps the campaign's injected test frames —
+	// the equal-frame-budget knob for engine comparisons.
+	Frames int
 	// Seed drives both the testbed assembly (S2 pairing entropy) and the
 	// campaign's mutation stream, exactly as the sequential drivers did.
 	Seed int64
@@ -85,6 +91,9 @@ type Job struct {
 	ChaosSeed int64
 }
 
+// ModeCoverage selects the coverage-guided engine for a job.
+const ModeCoverage = "coverage"
+
 // Label returns Name, or a derived "device/strategy" label.
 func (j Job) Label() string {
 	if j.Name != "" {
@@ -93,6 +102,9 @@ func (j Job) Label() string {
 	label := j.Device + "/" + string(j.Strategy)
 	if j.Baseline {
 		label = j.Device + "/vfuzz"
+	}
+	if j.FuzzMode == ModeCoverage {
+		label = j.Device + "/covfuzz"
 	}
 	if j.ChaosProfile != "" {
 		label += "+" + j.ChaosProfile

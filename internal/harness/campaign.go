@@ -40,6 +40,11 @@ type Options struct {
 	// (scan, discover, fuzz), timestamped on the testbed's simulated clock
 	// so traces are deterministic.
 	Tracer *telemetry.Tracer
+	// FrameBudget, when positive, caps the campaign's injected test frames
+	// (fuzz.Config.FrameBudget) — the equal-budget knob the covfuzz
+	// comparison tables use. Unlike the observers above this does change
+	// what the campaign finds; it is a budget, not an attachment.
+	FrameBudget int
 }
 
 // phaseSpan opens a span on the simulated timeline; no-op without a tracer.
@@ -129,9 +134,10 @@ func RunZCoverWith(tb *testbed.Testbed, strategy fuzz.Strategy, duration time.Du
 	queue := fuzz.BuildQueue(strategy, reg, listed, prioritized, seed)
 	span = opts.phaseSpan(tb, "fuzz", attrs)
 	fcfg := fuzz.Config{
-		Duration:  duration,
-		OnFinding: opts.OnFinding,
-		Recorder:  recorder,
+		Duration:    duration,
+		OnFinding:   opts.OnFinding,
+		Recorder:    recorder,
+		FrameBudget: opts.FrameBudget,
 	}
 	if tb.Chaos != nil {
 		// Under chaos the engine grades findings against the injector's

@@ -55,10 +55,11 @@ type campaignRecord struct {
 }
 
 // outcomeRecord is the journal body of one FleetOutcome: exactly one of
-// the two fields is set, mirroring the in-memory invariant.
+// the fields is set, mirroring the in-memory invariant.
 type outcomeRecord struct {
 	Campaign *campaignRecord `json:"campaign,omitempty"`
 	Baseline *fuzz.Result    `json:"baseline,omitempty"`
+	CovFuzz  *fuzz.CovResult `json:"covfuzz,omitempty"`
 }
 
 // classIDs projects a class list to its IDs.
@@ -99,7 +100,7 @@ func resolveClasses(reg *cmdclass.Registry, ids []cmdclass.ClassID) []*cmdclass.
 
 // EncodeOutcome serialises one campaign outcome for journaling.
 func EncodeOutcome(o FleetOutcome) (json.RawMessage, error) {
-	rec := outcomeRecord{Baseline: o.Baseline}
+	rec := outcomeRecord{Baseline: o.Baseline, CovFuzz: o.CovFuzz}
 	if o.Campaign != nil {
 		rec.Campaign = &campaignRecord{
 			Fingerprint: o.Campaign.Fingerprint,
@@ -127,7 +128,7 @@ func DecodeOutcome(raw json.RawMessage) (FleetOutcome, error) {
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		return FleetOutcome{}, fmt.Errorf("harness: decoding outcome: %w", err)
 	}
-	out := FleetOutcome{Baseline: rec.Baseline}
+	out := FleetOutcome{Baseline: rec.Baseline, CovFuzz: rec.CovFuzz}
 	if rec.Campaign != nil {
 		reg, err := cmdclass.Load()
 		if err != nil {

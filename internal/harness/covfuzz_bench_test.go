@@ -1,0 +1,30 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"zcover/internal/testbed"
+)
+
+// BenchmarkCovFuzz measures one coverage-guided campaign end to end —
+// fingerprint, discovery, then the CovFuzz engine with its behavioral
+// coverage map and in-memory corpus — against D1 at the one-hour budget.
+// Its allocs/op figure gates the new hot path (coverage hooks, corpus
+// admission, variant derivation) via the verify.sh -bench ratchet.
+func BenchmarkCovFuzz(b *testing.B) {
+	const budget = time.Hour
+	var simSeconds float64
+	for i := 0; i < b.N; i++ {
+		tb, err := testbed.New("D1", 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := RunCovFuzz(tb, budget, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simSeconds = res.Elapsed.Seconds()
+	}
+	b.ReportMetric(simSeconds*float64(b.N)/b.Elapsed().Seconds(), "simsec/s")
+}

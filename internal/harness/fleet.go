@@ -26,16 +26,21 @@ func SetFleetRecorderDepth(depth int) {
 }
 
 // FleetOutcome is one fleet campaign's result: exactly one of Campaign
-// (ZCover jobs) or Baseline (VFuzz jobs) is set.
+// (ZCover jobs), Baseline (VFuzz jobs), or CovFuzz (coverage-guided jobs)
+// is set.
 type FleetOutcome struct {
 	Campaign *Campaign
 	Baseline *fuzz.Result
+	CovFuzz  *fuzz.CovResult
 }
 
 // Fuzz returns the job's fuzzing result regardless of kind.
 func (o FleetOutcome) Fuzz() *fuzz.Result {
 	if o.Baseline != nil {
 		return o.Baseline
+	}
+	if o.CovFuzz != nil {
+		return &o.CovFuzz.Result
 	}
 	if o.Campaign != nil {
 		return o.Campaign.Fuzz
@@ -50,6 +55,16 @@ func RunFleetJob(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (Fleet
 	opts := Options{
 		OnFinding:           func(fuzz.Finding) { obs.Finding() },
 		FlightRecorderDepth: int(fleetRecorderDepth.Load()),
+		FrameBudget:         job.Frames,
+	}
+	if job.FuzzMode == fleet.ModeCoverage {
+		res, err := RunCovFuzzWith(tb, job.Budget, job.Seed, opts, CovFuzzOptions{})
+		if err != nil {
+			return FleetOutcome{}, err
+		}
+		obs.Packets(res.PacketsSent)
+		obs.SimTime(res.Elapsed)
+		return FleetOutcome{CovFuzz: res}, nil
 	}
 	if job.Baseline {
 		res, err := RunVFuzzWith(tb, job.Budget, job.Seed, opts)

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"zcover/internal/coverage"
 	"zcover/internal/telemetry"
 )
 
@@ -161,6 +162,13 @@ type Bus struct {
 	events []Event
 	subs   []subscriber
 	nextID uint64
+
+	// cov, when non-nil, receives one coverage observation per emitted
+	// event (SetCoverage). Like subscribers, the hook runs outside the
+	// bus lock, synchronously on the emitting goroutine — for campaign
+	// testbeds that is the single simulation-driving goroutine, which is
+	// what the non-thread-safe Collector requires.
+	cov *coverage.Collector
 }
 
 // subscriber pairs a callback with its handle identity.
@@ -216,6 +224,15 @@ func (b *Bus) Subscribers() int {
 	return len(b.subs)
 }
 
+// SetCoverage attaches (or, with nil, detaches) a behavioral-coverage
+// collector that observes every emitted event — the oracle-proximity axis
+// of the coverage map.
+func (b *Bus) SetCoverage(cov *coverage.Collector) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cov = cov
+}
+
 // Emit records an event and notifies subscribers.
 func (b *Bus) Emit(e Event) {
 	mEvents.Inc()
@@ -224,9 +241,13 @@ func (b *Bus) Emit(e Event) {
 	}
 	b.mu.Lock()
 	b.events = append(b.events, e)
+	cov := b.cov
 	subs := make([]subscriber, len(b.subs))
 	copy(subs, b.subs)
 	b.mu.Unlock()
+	if cov != nil {
+		cov.OnOracle(int(e.Kind), e.Class, e.Cmd)
+	}
 	for _, sub := range subs {
 		sub.fn(e)
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"zcover/internal/coverage"
 	"zcover/internal/vtime"
 )
 
@@ -175,5 +176,53 @@ func TestEventString(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("Event.String() = %q missing %q", s, want)
 		}
+	}
+}
+
+func TestConfidenceStrings(t *testing.T) {
+	if s := ConfidenceConfirmed.String(); s != "confirmed" {
+		t.Errorf("confirmed = %q", s)
+	}
+	if s := ConfidenceSuspect.String(); s != "suspect" {
+		t.Errorf("suspect = %q", s)
+	}
+	if s := Confidence(9).String(); s != "Confidence(9)" {
+		t.Errorf("unknown = %q", s)
+	}
+}
+
+func TestBusCoverageHookObservesEmits(t *testing.T) {
+	var b Bus
+	cov := coverage.NewCollector()
+	b.SetCoverage(cov)
+	cov.BeginInput()
+	b.Emit(Event{Device: "D1", Kind: ServiceHang, Class: 0x86, Cmd: 0x13})
+	if n := cov.EndInput(); n == 0 {
+		t.Fatal("emitted event produced no coverage feature")
+	}
+
+	// The same event again is not novel; a different kind is.
+	cov.BeginInput()
+	b.Emit(Event{Device: "D1", Kind: ServiceHang, Class: 0x86, Cmd: 0x13})
+	if n := cov.EndInput(); n != 0 {
+		t.Fatalf("repeat event reported %d new features", n)
+	}
+	cov.BeginInput()
+	b.Emit(Event{Device: "D1", Kind: NodeTampered, Class: 0x01, Cmd: 0x0D})
+	if n := cov.EndInput(); n == 0 {
+		t.Fatal("distinct event kind reported no new feature")
+	}
+
+	// Detaching stops observation without touching subscribers.
+	b.SetCoverage(nil)
+	before := cov.Inputs()
+	cov.BeginInput()
+	b.Emit(Event{Device: "D1", Kind: MACParsingFault})
+	cov.EndInput()
+	if cov.Inputs() != before+1 {
+		t.Fatal("collector input accounting broken")
+	}
+	if len(b.Events()) != 4 {
+		t.Fatalf("events = %d, want 4", len(b.Events()))
 	}
 }

@@ -18,6 +18,8 @@ package serialapi
 import (
 	"errors"
 	"fmt"
+
+	"zcover/internal/coverage"
 )
 
 // Frame delimiters and control bytes.
@@ -140,6 +142,7 @@ type Chip interface {
 // Controller program model is built on.
 type Client struct {
 	chip Chip
+	cov  *coverage.Collector
 }
 
 // NewClient connects a host client to a chip.
@@ -150,11 +153,20 @@ func NewClient(chip Chip) *Client {
 	return &Client{chip: chip}
 }
 
+// SetCoverage attaches (or, with nil, detaches) a behavioral-coverage
+// collector that observes every function the host invokes — the
+// host-interface half of the "Serial API handlers hit" coverage axis
+// (the chip side records its own dispatches).
+func (c *Client) SetCoverage(cov *coverage.Collector) { c.cov = cov }
+
 // Call performs one request/response exchange over the wire encoding:
 // the request is encoded, "transmitted", decoded on the chip side,
 // dispatched, and the response travels back the same way. Both directions
 // exercise the real framing and checksums.
 func (c *Client) Call(funcID byte, data []byte) ([]byte, error) {
+	if c.cov != nil {
+		c.cov.OnSerial(funcID)
+	}
 	raw := Encode(Frame{Type: TypeRequest, Func: funcID, Data: data})
 
 	// Chip side: validate framing, ACK, dispatch.

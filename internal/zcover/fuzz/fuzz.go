@@ -40,6 +40,10 @@ const (
 	StrategyKnownOnly Strategy = "zcover-beta"
 	// StrategyRandom is the γ ablation: random CMDCLs, naive mutation.
 	StrategyRandom Strategy = "zcover-gamma"
+	// StrategyCoverage is the coverage-guided engine (CovEngine): the same
+	// spec-driven quick pass, then corpus exploitation steered by the
+	// behavioral coverage map instead of fixed per-class windows.
+	StrategyCoverage Strategy = "zcover-cov"
 )
 
 // Config tunes a campaign.
@@ -77,6 +81,11 @@ type Config struct {
 	// before declaring the target unresponsive (>1 tolerates lossy
 	// channels). Zero means one probe, the clean-channel behaviour.
 	PingAttempts int
+	// FrameBudget, when positive, caps the number of test packets the
+	// campaign may inject; the engine stops at whichever of Duration and
+	// FrameBudget runs out first. This is how the coverage-guided and
+	// generational engines are compared at an equal frame budget.
+	FrameBudget int
 }
 
 // ImpairmentMonitor reports whether channel faults were injected at or
@@ -251,22 +260,22 @@ func (e *Engine) Run() *Result {
 
 	// Stage 1: quick pass across the whole prioritised queue.
 	for _, stream := range streams {
-		if e.elapsed() >= e.cfg.Duration {
+		if e.budgetExhausted() {
 			break
 		}
-		for n := stream.QuickSize(); n > 0 && e.elapsed() < e.cfg.Duration; n-- {
+		for n := stream.QuickSize(); n > 0 && !e.budgetExhausted(); n-- {
 			e.oneTest(stream)
 		}
 	}
 
 	// Stage 2: deep pass, C_T per class (Algorithm 1 lines 4-15).
 	for _, stream := range streams {
-		if e.elapsed() >= e.cfg.Duration {
+		if e.budgetExhausted() {
 			break
 		}
 		windowUsed := time.Duration(0)
 		windowStart := e.clock.Now()
-		for e.elapsed() < e.cfg.Duration {
+		for !e.budgetExhausted() {
 			if windowUsed+e.clock.Now().Sub(windowStart) >= e.cfg.PerClass {
 				break
 			}
@@ -290,17 +299,39 @@ func (e *Engine) Run() *Result {
 // elapsed reports campaign time.
 func (e *Engine) elapsed() time.Duration { return e.clock.Now().Sub(e.start) }
 
+// budgetExhausted reports whether either campaign budget — simulated time
+// or, when configured, the frame cap — has run out.
+func (e *Engine) budgetExhausted() bool {
+	if e.cfg.FrameBudget > 0 && e.res.PacketsSent >= e.cfg.FrameBudget {
+		return true
+	}
+	return e.elapsed() >= e.cfg.Duration
+}
+
 // maxFilteredDraws bounds how many consecutive known-crash payloads the
 // engine will discard before giving up on the current stream position.
 const maxFilteredDraws = 512
 
-// oneTest runs one send/observe/liveness cycle. It reports whether a new
-// unique finding was logged and how long recovery waiting took.
-func (e *Engine) oneTest(stream *mutate.Stream) (newFinding bool, recovery time.Duration) {
+// drawFiltered pulls the stream's next payload, discarding draws that
+// target commands the engine already knows to crash the controller.
+func (e *Engine) drawFiltered(stream *mutate.Stream) []byte {
 	payload := stream.Next()
 	for i := 0; i < maxFilteredDraws && len(payload) >= 2 && e.crashedCmds[[2]byte{payload[0], payload[1]}]; i++ {
 		payload = stream.Next()
 	}
+	return payload
+}
+
+// oneTest runs one send/observe/liveness cycle. It reports whether a new
+// unique finding was logged and how long recovery waiting took.
+func (e *Engine) oneTest(stream *mutate.Stream) (newFinding bool, recovery time.Duration) {
+	return e.runPayload(e.drawFiltered(stream))
+}
+
+// runPayload injects one application payload and runs the observe /
+// liveness / recovery cycle on it — the engine-independent half of a test.
+// The coverage-guided engine calls it directly with corpus variants.
+func (e *Engine) runPayload(payload []byte) (newFinding bool, recovery time.Duration) {
 	txAt := e.clock.Now()
 	ex, err := e.dongle.SendAndObserve(e.fp.Home, scan.AttackerNodeID, e.fp.Controller,
 		payload, e.cfg.ResponseWindow)

@@ -1,4 +1,4 @@
-package minimize
+package minimize_test
 
 import (
 	"bytes"
@@ -8,10 +8,11 @@ import (
 	"zcover/internal/harness"
 	"zcover/internal/testbed"
 	"zcover/internal/zcover/fuzz"
+	"zcover/internal/zcover/minimize"
 )
 
 func TestMinimizeTrimsTrailingJunk(t *testing.T) {
-	m := New("D1", 71)
+	m := minimize.New("D1", 71)
 	// Bug 09 fires on any 0x7A/0x01 with trailing bytes; a single junk
 	// byte suffices, and it can be zero.
 	res, err := m.Minimize([]byte{0x7A, 0x01, 0xAA, 0xBB, 0xCC, 0xDD}, "service-hang/0x7A/0x01")
@@ -27,7 +28,7 @@ func TestMinimizeTrimsTrailingJunk(t *testing.T) {
 }
 
 func TestMinimizePreservesEssentialStructure(t *testing.T) {
-	m := New("D1", 72)
+	m := minimize.New("D1", 72)
 	// Bug 01 needs the node ID and a conflicting non-zero generic type;
 	// minimisation may trim the tail behind the generic byte but must not
 	// zero the two load-bearing parameters.
@@ -54,7 +55,7 @@ func TestMinimizePreservesEssentialStructure(t *testing.T) {
 }
 
 func TestMinimizeBoundaryTrigger(t *testing.T) {
-	m := New("D4", 73)
+	m := minimize.New("D4", 73)
 	// Bug 10 needs a non-zero unsupported class value: zeroing must fail,
 	// trimming must stop at one parameter.
 	res, err := m.Minimize([]byte{0x86, 0x13, 0xE0, 0x11, 0x22}, "service-hang/0x86/0x13")
@@ -67,7 +68,7 @@ func TestMinimizeBoundaryTrigger(t *testing.T) {
 }
 
 func TestMinimizeRejectsNonReproducingPayload(t *testing.T) {
-	m := New("D1", 74)
+	m := minimize.New("D1", 74)
 	if _, err := m.Minimize([]byte{0x20, 0x02}, "service-hang/0x86/0x13"); err == nil {
 		t.Fatal("accepted a payload that does not reproduce")
 	}
@@ -82,7 +83,7 @@ func TestMinimizeCampaignFindings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := New("D1", 76)
+	m := minimize.New("D1", 76)
 	minimised := 0
 	for _, f := range c.Fuzz.Findings {
 		res, err := m.Minimize(f.TriggerPayload, f.Signature)

@@ -31,8 +31,8 @@ done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-echo "== go test -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign' -benchmem (benchtime $benchtime) =="
-go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign' \
+echo "== go test -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign|BenchmarkCovFuzz' -benchmem (benchtime $benchtime) =="
+go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign|BenchmarkCovFuzz' \
     -benchmem -benchtime "$benchtime" | tee "$raw"
 
 # Benchmark lines look like:

@@ -66,8 +66,9 @@ echo "== coverage baseline =="
 baseline="scripts/coverage_baseline.txt"
 if [ -f "$baseline" ]; then
     # Fail when any baselined package's statement coverage falls more than
-    # two points below the committed figure. New packages are not gated
-    # until scripts/coverage_baseline.sh records them.
+    # two points below the committed figure, and when an internal/ package
+    # reports coverage without a committed baseline — new subsystems must
+    # run scripts/coverage_baseline.sh -add-missing before landing.
     awk -v drop=2.0 '
     NR == FNR { base[$1] = $2; next }
     $1 == "ok" {
@@ -89,8 +90,14 @@ if [ -f "$baseline" ]; then
                 bad = 1
             }
         }
-        for (pkg in cov) if (!(pkg in base))
-            printf "coverage: warning: %s is not baselined; run scripts/coverage_baseline.sh -add-missing\n", pkg
+        for (pkg in cov) if (!(pkg in base)) {
+            if (pkg ~ /\/internal\//) {
+                printf "coverage: %s is not baselined; run scripts/coverage_baseline.sh -add-missing\n", pkg
+                bad = 1
+            } else {
+                printf "coverage: warning: %s is not baselined; run scripts/coverage_baseline.sh -add-missing\n", pkg
+            }
+        }
         if (!bad) print "coverage: all baselined packages within " drop " pts"
         exit bad
     }' "$baseline" "$cover_raw"
@@ -104,14 +111,14 @@ if [ -n "$fuzz" ]; then
 fi
 
 if [ -n "$bench" ]; then
-    echo "== allocs/op ratchet (BenchmarkFleetParallelism/workers=1) =="
-    # Fail when the hot-path benchmark's allocs/op regresses more than 10%
+    echo "== allocs/op ratchet (BenchmarkFleetParallelism/workers=1, BenchmarkCovFuzz) =="
+    # Fail when a hot-path benchmark's allocs/op regresses more than 10%
     # over the committed BENCH_fleet.json figure. allocs/op is used because
     # it is iteration-exact — unlike ns/op it does not wobble with machine
     # load, so a 2-iteration run gates reliably.
     bench_raw="$(mktemp)"
     bench_status="$(mktemp)"
-    { go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism/workers=1$' \
+    { go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism/workers=1$|BenchmarkCovFuzz$' \
         -benchmem -benchtime 2x || echo "$?" > "$bench_status"; } | tee "$bench_raw"
     if [ -s "$bench_status" ]; then
         echo "verify: benchmark run failed (exit $(cat "$bench_status"))" >&2
@@ -121,28 +128,41 @@ if [ -n "$bench" ]; then
     rm -f "$bench_status"
     awk '
     NR == FNR {
-        if ($0 ~ /"name": "BenchmarkFleetParallelism\/workers=1"/) {
+        if ($0 ~ /"name":/) {
+            name = $0
+            sub(/.*"name": "/, "", name)
+            sub(/".*/, "", name)
             for (i = 1; i <= NF; i++) if ($i == "\"allocs_per_op\":") {
-                base = $(i+1)
-                sub(/,/, "", base)
+                v = $(i+1)
+                sub(/,/, "", v)
+                base[name] = v
             }
         }
         next
     }
-    /^BenchmarkFleetParallelism/ {
-        for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") now = $i
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+        for (i = 2; i < NF; i++) if ($(i+1) == "allocs/op") now[name] = $i
     }
     END {
-        if (base == "" || now == "") {
-            print "allocs ratchet: missing baseline or measurement; skipping"
-            exit 0
+        bad = 0
+        checked = 0
+        for (name in now) {
+            if (!(name in base)) continue
+            checked++
+            limit = base[name] * 1.10
+            if (now[name] + 0 > limit) {
+                printf "allocs ratchet: %s: %d allocs/op exceeds baseline %d by more than 10%%\n",
+                    name, now[name], base[name]
+                bad = 1
+            } else {
+                printf "allocs ratchet: %s: %d allocs/op within 10%% of baseline %d\n",
+                    name, now[name], base[name]
+            }
         }
-        limit = base * 1.10
-        if (now + 0 > limit) {
-            printf "allocs ratchet: %d allocs/op exceeds baseline %d by more than 10%%\n", now, base
-            exit 1
-        }
-        printf "allocs ratchet: %d allocs/op within 10%% of baseline %d\n", now, base
+        if (!checked) print "allocs ratchet: missing baseline or measurement; skipping"
+        exit bad
     }' BENCH_fleet.json "$bench_raw"
     rm -f "$bench_raw"
 fi

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"zcover/internal/chaos"
+	"zcover/internal/coverage"
 	"zcover/internal/fleet"
 	"zcover/internal/harness"
 	"zcover/internal/oracle"
@@ -96,6 +97,16 @@ type (
 	// CampaignKey identifies a single-campaign checkpoint journal: every
 	// input that determines the campaign's output.
 	CampaignKey = harness.CampaignKey
+	// CovResult is a coverage-guided campaign summary: the base Result
+	// plus the behavioral coverage map's final state and corpus size.
+	CovResult = fuzz.CovResult
+	// CoverageStats is a behavioral-coverage map snapshot.
+	CoverageStats = coverage.Stats
+	// CovFuzzOptions configures the coverage-guided pipeline's corpus
+	// side: journal directory, resume, seed minimisation.
+	CovFuzzOptions = harness.CovFuzzOptions
+	// CovFuzzRow is one device's engine comparison at equal frame budget.
+	CovFuzzRow = harness.CovFuzzRow
 )
 
 // Oracle confidence grades.
@@ -169,6 +180,20 @@ func RunResumable(dir string, resume bool, key CampaignKey, tb *Testbed, opts Op
 	return harness.RunZCoverResumable(dir, resume, key, tb, opts)
 }
 
+// RunCoverage executes the coverage-guided pipeline — fingerprinting,
+// discovery, then the behavioral-coverage-guided engine with a
+// deterministic corpus — against the testbed's controller.
+func RunCoverage(tb *Testbed, duration time.Duration, seed int64) (*CovResult, error) {
+	return harness.RunCovFuzz(tb, duration, seed)
+}
+
+// RunCoverageWith is RunCoverage with observability attachments plus the
+// corpus configuration: crash-safe corpus journaling under a directory
+// (resumable) and optional seed minimisation.
+func RunCoverageWith(tb *Testbed, duration time.Duration, seed int64, opts Options, covOpts CovFuzzOptions) (*CovResult, error) {
+	return harness.RunCovFuzzWith(tb, duration, seed, opts, covOpts)
+}
+
 // RunBaseline executes the VFuzz baseline against the testbed's controller
 // for the given budget.
 func RunBaseline(tb *Testbed, duration time.Duration, seed int64) (*Result, error) {
@@ -228,4 +253,7 @@ var (
 	// ChaosTable5 reruns the Table V ZCover campaigns under impairment
 	// profiles and reports detection-robustness deltas.
 	ChaosTable5 = harness.ChaosTable5
+	// CovFuzzTable compares the coverage-guided engine against the
+	// generational engine at an equal frame budget across a pool.
+	CovFuzzTable = harness.CovFuzzTable
 )
