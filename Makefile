@@ -1,7 +1,7 @@
 # Tier-1 gate and convenience targets. `make verify` must pass before
 # every commit; CI runs the same script.
 
-.PHONY: verify verify-full test bench bench-compare build fuzz-smoke
+.PHONY: verify verify-full test bench bench-compare bench-scaling build fuzz-smoke
 
 verify:
 	./scripts/verify.sh
@@ -20,6 +20,13 @@ test:
 # (name, ns/op, B/op, allocs/op, sim-rate per worker-count variant).
 bench:
 	./scripts/bench.sh
+
+# Runs the fleet worker-scaling sweep and writes BENCH_scaling.json
+# (sim-rate, parallel efficiency, per-phase wall share, ranked bottlenecks).
+# `./scripts/bench_scaling.sh -gate` also fails on >10% efficiency
+# regression vs the committed report (the nightly CI leg).
+bench-scaling:
+	./scripts/bench_scaling.sh
 
 # Re-runs the benchmarks and diffs against scripts/bench_baseline.txt —
 # via benchstat when installed, via the built-in awk comparator otherwise.

@@ -9,7 +9,8 @@
 //	experiments -workers 8      # parallel campaigns (0 = GOMAXPROCS)
 //	experiments -progress       # live fleet ticker on stderr
 //	experiments -metrics-out metrics.json -trace-out spans.jsonl
-//	experiments -flight-recorder 16 -pprof localhost:6060
+//	experiments -flight-recorder 16 -obs-addr localhost:6060
+//	experiments -run scaling -scaling-out BENCH_scaling.json
 //
 // Campaign experiments (table3/4/5/6, fig12, trials, remediation) are
 // scheduled across the internal/fleet worker pool: each campaign runs on
@@ -20,13 +21,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -34,6 +35,7 @@ import (
 	"zcover"
 	"zcover/internal/fleet"
 	"zcover/internal/harness"
+	"zcover/internal/obs"
 	"zcover/internal/report"
 	"zcover/internal/telemetry"
 )
@@ -82,7 +84,7 @@ func (t *ticker) clear() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, covfuzz, fig12, trials, remediation, chaos")
+	which := fs.String("run", "all", "experiment to run: all, fig1, fig5, figs8-11, table2, table3, table4, table5, table6, covfuzz, fig12, trials, remediation, chaos, scaling")
 	fuzzBudget := fs.Duration("fuzz", 24*time.Hour, "fuzzing budget for the campaign experiments (paper: 24h)")
 	ablation := fs.Duration("ablation", time.Hour, "budget for the ablation study (paper: 1h)")
 	window := fs.Duration("window", 800*time.Second, "figure 12 plot window (paper: ~800s)")
@@ -95,7 +97,13 @@ func run(args []string) error {
 	flightDepth := fs.Int("flight-recorder", 0, "attach a packet flight recorder of this depth to every campaign testbed (0 = off)")
 	chaosProfiles := fs.String("chaos-profiles", "", "comma-separated impairment profiles for -run chaos (empty = burst,noise,jitter)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the chaos campaign's fault injectors")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	obsAddr := fs.String("obs-addr", "", "serve the observability endpoints (/debug/pprof, /metrics, /healthz, /timeline) on this address, e.g. localhost:6060")
+	pprofAddr := fs.String("pprof", "", "deprecated alias for -obs-addr")
+	profileDir := fs.String("profile-dir", "", "enable mutex/block contention profiling and write pprof-format snapshots into this directory at run end")
+	scalingOut := fs.String("scaling-out", "", "scaling: also write the report to this file as JSON (BENCH_scaling.json)")
+	scalingWorkers := fs.String("scaling-workers", "1,2,4,8", "scaling: comma-separated worker counts to sweep")
+	scalingBaseline := fs.String("scaling-baseline", "", "scaling: compare against this committed report and fail if parallel efficiency at the top worker count regressed >10%")
+	gitSHA := fs.String("git-sha", "", "stamp bench reports with this commit (scripts pass it; empty omits)")
 	ckptDir := fs.String("checkpoint-dir", "", "journal completed campaign jobs into this directory (crash-safe; resume with -resume)")
 	resume := fs.Bool("resume", false, "continue existing journals in -checkpoint-dir instead of refusing to overwrite them")
 	shardSpec := fs.String("shard", "", "run only shard i/n of each campaign's job list (e.g. 2/3); requires -checkpoint-dir")
@@ -114,17 +122,29 @@ func run(args []string) error {
 	if *merge && shard.Enabled() {
 		return fmt.Errorf("-merge renders every shard's journal; drop -shard")
 	}
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "experiments:", err)
-			}
-		}()
-	}
 	// Fleet counters publish into the process registry; the drivers run one
 	// fleet at a time, so per-fleet Progress deltas stay exact while the
-	// registry accumulates process totals for -metrics-out.
-	fleetCfg := fleet.Config{Workers: *workers, MaxAttempts: *attempts, Telemetry: telemetry.Default()}
+	// registry accumulates process totals for -metrics-out. The worker
+	// timeline feeds the /timeline endpoint live.
+	timeline := obs.NewTimeline()
+	fleetCfg := fleet.Config{Workers: *workers, MaxAttempts: *attempts,
+		Telemetry: telemetry.Default(), Timeline: timeline}
+	if addr := firstNonEmpty(*obsAddr, *pprofAddr); addr != "" {
+		// Binds synchronously: a bad address fails here, before any
+		// campaign work, instead of being printed and swallowed mid-run.
+		srv, err := obs.NewServer(addr, telemetry.Default(), timeline)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Close(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: obs server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "experiments: observability on http://%s\n", srv.Addr())
+	}
 	harness.SetFleetRecorderDepth(*flightDepth)
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
@@ -153,6 +173,18 @@ func run(args []string) error {
 		defer func() {
 			if err := telemetry.Default().WriteFile(*metricsOut); err != nil {
 				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
+	if *profileDir != "" {
+		restore := obs.StartProfiling(obs.ProfileConfig{})
+		defer restore()
+		// Registered after the -metrics-out defer so the runtime sample
+		// (obs_* gauges) lands in the exported metrics file too.
+		defer func() {
+			obs.SampleRuntimeMetrics(telemetry.Default())
+			if err := obs.SnapshotProfiles(*profileDir); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: profile snapshots:", err)
 			}
 		}()
 	}
@@ -350,8 +382,61 @@ func run(args []string) error {
 			return err
 		}
 	}
+	// The scaling sweep also runs only on request: it is a bench, not a
+	// paper table. It measures the fleet across worker counts, prints the
+	// ranked bottleneck report, and optionally gates against a committed
+	// baseline (the nightly CI leg).
+	if *which == "scaling" {
+		ran = true
+		var ws []int
+		for _, s := range strings.Split(*scalingWorkers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -scaling-workers entry %q", s)
+			}
+			ws = append(ws, n)
+		}
+		// Load the baseline before sweeping: a missing file fails fast, and
+		// gating against the -scaling-out file being refreshed compares
+		// old-versus-new instead of new-vs-new.
+		var base *obs.ScalingReport
+		if *scalingBaseline != "" {
+			if base, err = obs.LoadScalingReport(*scalingBaseline); err != nil {
+				return err
+			}
+		}
+		rep, err := harness.ScalingSweep(harness.ScalingConfig{
+			Workers: ws, Budget: *fuzzBudget, GitSHA: *gitSHA, Contention: true,
+		})
+		tick.clear()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep.Table())
+		if *scalingOut != "" {
+			if err := rep.WriteFile(*scalingOut); err != nil {
+				return err
+			}
+		}
+		if base != nil {
+			if err := obs.CheckRegression(base, rep, 0.10); err != nil {
+				return err
+			}
+			fmt.Printf("scaling gate: efficiency within 10%% of baseline %s\n", *scalingBaseline)
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *which)
 	}
 	return nil
+}
+
+// firstNonEmpty returns the first non-empty string.
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
 }

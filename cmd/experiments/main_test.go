@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -95,5 +96,55 @@ func TestRunCampaignExperimentsShortBudget(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-run", "table99"}); err == nil {
 		t.Fatal("accepted unknown experiment")
+	}
+}
+
+// TestScalingCLI drives -run scaling end to end at a tiny budget: the
+// report file must gate cleanly against itself, and the printed table must
+// carry the ranked bottleneck section.
+func TestScalingCLI(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "scaling.json")
+	printed := captureStdout(t, func() error {
+		return run([]string{"-run", "scaling", "-fuzz", "30m",
+			"-scaling-workers", "1,2", "-scaling-out", out, "-git-sha", "test"})
+	})
+	for _, want := range []string{"Fleet scaling", "Ranked serialization sources"} {
+		if !strings.Contains(printed, want) {
+			t.Errorf("scaling output missing %q:\n%s", want, printed)
+		}
+	}
+	// Re-run gating against the report just written: same workload, same
+	// host, so efficiency cannot have regressed 10%.
+	gated := captureStdout(t, func() error {
+		return run([]string{"-run", "scaling", "-fuzz", "30m",
+			"-scaling-workers", "1,2", "-scaling-baseline", out})
+	})
+	if !strings.Contains(gated, "scaling gate: efficiency within 10%") {
+		t.Errorf("no gate confirmation in output:\n%s", gated)
+	}
+}
+
+func TestScalingFlagValidation(t *testing.T) {
+	if err := run([]string{"-run", "scaling", "-scaling-workers", "1,zero"}); err == nil {
+		t.Error("bad -scaling-workers accepted")
+	}
+	if err := run([]string{"-run", "scaling", "-scaling-baseline", "/no/such/file.json"}); err == nil {
+		t.Error("missing -scaling-baseline file accepted")
+	}
+}
+
+// TestObsAddrFlag pins the fixed -pprof pattern: the server binds before
+// any experiment work, serves the unified endpoints, and a bad address is
+// an immediate error instead of a swallowed goroutine print.
+func TestObsAddrFlag(t *testing.T) {
+	if err := run([]string{"-run", "fig1", "-obs-addr", "256.0.0.1:bad"}); err == nil {
+		t.Fatal("bad -obs-addr accepted")
+	}
+	if err := run([]string{"-run", "fig1", "-obs-addr", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("-obs-addr with ephemeral port: %v", err)
+	}
+	// The deprecated alias must keep working.
+	if err := run([]string{"-run", "fig1", "-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("-pprof alias: %v", err)
 	}
 }

@@ -11,15 +11,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"time"
 
 	"zcover"
+	"zcover/internal/obs"
 	"zcover/internal/report"
 	"zcover/internal/telemetry"
 )
@@ -43,7 +43,9 @@ func run(args []string) error {
 	flightDepth := fs.Int("flight-recorder", 0, "attach a packet flight recorder of this depth; findings carry frame traces (0 = off)")
 	chaosProfile := fs.String("chaos-profile", "", "impair the channel with this fault profile, e.g. burst, noise, jitter, lossy:corrupt=0.1 (empty = clean)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "deterministic seed for the fault injector's impairment streams")
-	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	obsAddr := fs.String("obs-addr", "", "serve the observability endpoints (/debug/pprof, /metrics, /healthz, /timeline) on this address, e.g. localhost:6060")
+	pprofAddr := fs.String("pprof", "", "deprecated alias for -obs-addr")
+	profileDir := fs.String("profile-dir", "", "enable mutex/block contention profiling and write pprof-format snapshots into this directory at campaign end")
 	ckptDir := fs.String("checkpoint-dir", "", "journal the campaign outcome into this directory (crash-safe; replay with -resume)")
 	resume := fs.Bool("resume", false, "continue an existing journal in -checkpoint-dir or -corpus-dir instead of refusing to overwrite it")
 	fuzzMode := fs.String("fuzz-mode", "zcover", "fuzzing engine: zcover (generational Algorithm 1) or coverage (behavioral-coverage-guided)")
@@ -70,10 +72,29 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown fuzz mode %q (want zcover or coverage)", *fuzzMode)
 	}
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "zcover: pprof:", err)
+	if addr := firstNonEmpty(*obsAddr, *pprofAddr); addr != "" {
+		// Binds synchronously: a bad address fails here, before any
+		// campaign work, instead of being printed and swallowed mid-run.
+		srv, err := obs.NewServer(addr, telemetry.Default(), nil)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := srv.Close(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "zcover: obs server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "zcover: observability on http://%s\n", srv.Addr())
+	}
+	if *profileDir != "" {
+		restore := obs.StartProfiling(obs.ProfileConfig{})
+		defer restore()
+		defer func() {
+			obs.SampleRuntimeMetrics(telemetry.Default())
+			if err := obs.SnapshotProfiles(*profileDir); err != nil {
+				fmt.Fprintln(os.Stderr, "zcover: profile snapshots:", err)
 			}
 		}()
 	}
@@ -216,6 +237,16 @@ func run(args []string) error {
 
 	printFindings(c.Fuzz.Findings)
 	return nil
+}
+
+// firstNonEmpty returns the first non-empty string.
+func firstNonEmpty(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
 }
 
 // printFindings renders the unique-vulnerability table shared by both

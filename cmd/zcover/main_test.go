@@ -3,6 +3,7 @@ package main
 import (
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -30,6 +31,30 @@ func TestRunRejectsBadInputs(t *testing.T) {
 	}
 	if err := run([]string{"-resume"}); err == nil {
 		t.Fatal("accepted -resume without -checkpoint-dir")
+	}
+	// The obs server binds synchronously: a bad address must fail before
+	// any campaign work, not print-and-swallow from a goroutine.
+	if err := run([]string{"-target", "D1", "-duration", "5m", "-obs-addr", "256.0.0.1:bad"}); err == nil {
+		t.Fatal("accepted bad -obs-addr")
+	}
+}
+
+// TestObservabilityFlags drives -obs-addr (and its deprecated -pprof
+// alias) plus -profile-dir through a short campaign: the run must succeed
+// and leave pprof-format contention snapshots behind.
+func TestObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-target", "D1", "-duration", "5m",
+		"-obs-addr", "127.0.0.1:0", "-profile-dir", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mutex.pb.gz", "block.pb.gz", "heap.pb.gz"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing profile snapshot %s: %v", name, err)
+		}
+	}
+	if err := run([]string{"-target", "D1", "-duration", "5m", "-pprof", "127.0.0.1:0"}); err != nil {
+		t.Fatalf("-pprof alias: %v", err)
 	}
 }
 

@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"zcover/internal/chaos"
+	"zcover/internal/obs"
 	"zcover/internal/telemetry"
 	"zcover/internal/testbed"
 	"zcover/internal/zcover/fuzz"
@@ -147,7 +148,19 @@ type Config struct {
 	// Workers bounds campaign concurrency. Zero or negative means
 	// GOMAXPROCS. Workers=1 is the sequential fallback: byte-identical to
 	// running the jobs in a plain loop.
+	//
+	// Campaigns are CPU-bound (the simulation never blocks on real I/O
+	// apart from the serialized checkpoint append), so worker goroutines
+	// beyond GOMAXPROCS cannot add throughput — they only add scheduler
+	// churn and cache interleaving. The 1→8 worker sweep in
+	// BENCH_scaling.json measured that oversubscription tax at ~7% sim-rate
+	// on a 1-P host, so Run caps the pool at GOMAXPROCS. Results are
+	// byte-identical either way; set AllowOversubscription to measure the
+	// uncapped behavior.
 	Workers int
+	// AllowOversubscription disables the GOMAXPROCS worker cap. The
+	// scaling sweep uses it to quantify the overhead the cap removes.
+	AllowOversubscription bool
 	// MaxAttempts is how many times a failing job is run (each attempt on
 	// a fresh testbed) before it is reported failed. Zero or negative
 	// means DefaultMaxAttempts.
@@ -171,6 +184,11 @@ type Config struct {
 	// carries the spec but does not interpret it (see CheckpointSpec);
 	// callers install the journal through WithResume.
 	Checkpoint *CheckpointSpec
+	// Timeline, if set, records per-worker phase intervals (build, the
+	// pipeline phases, persist, idle) for the scaling report and the
+	// /timeline endpoint. Nil disables recording at zero cost; attaching
+	// one never changes campaign results.
+	Timeline *obs.Timeline
 }
 
 func (c Config) withDefaults() Config {
@@ -268,30 +286,50 @@ func (f *Fleet[T]) WithResume(cached func(i int, job Job) (T, bool), persist fun
 	return f
 }
 
-// Run executes the fleet. See the package-level Run.
-func (f *Fleet[T]) Run() []Result[T] {
-	f.c.start(time.Now())
-	results := make([]Result[T], len(f.jobs))
-	workers := f.cfg.Workers
-	if workers > len(f.jobs) {
-		workers = len(f.jobs)
+// EffectiveWorkers returns the worker-goroutine count Run will actually
+// use for a fleet of `jobs` jobs: Workers clamped to the job count and —
+// unless AllowOversubscription — to GOMAXPROCS, since extra goroutines on
+// a CPU-bound pool cost sim-rate instead of adding it.
+func (c Config) EffectiveWorkers(jobs int) int {
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if !c.AllowOversubscription {
+		if p := runtime.GOMAXPROCS(0); workers > p {
+			workers = p
+		}
+	}
+	if workers > jobs {
+		workers = jobs
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	return workers
+}
+
+// Run executes the fleet. See the package-level Run.
+func (f *Fleet[T]) Run() []Result[T] {
+	f.c.start(time.Now())
+	results := make([]Result[T], len(f.jobs))
+	workers := f.cfg.EffectiveWorkers(len(f.jobs))
 
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			f.cfg.Timeline.StartWorker(w)
+			defer f.cfg.Timeline.StopWorker(w)
 			// Each results slot is written by exactly one worker, so the
 			// slice needs no lock; wg.Wait orders the writes before reads.
 			for i := range idx {
-				results[i] = f.execute(i, f.jobs[i])
+				results[i] = f.execute(w, i, f.jobs[i])
+				f.cfg.Timeline.Phase(w, "", obs.PhaseIdle)
 			}
-		}()
+		}(w)
 	}
 	for i := range f.jobs {
 		idx <- i
@@ -322,7 +360,8 @@ func (f *Fleet[T]) notify() {
 // a fresh testbed, with panics recovered and live metrics rolled back for
 // attempts that fail. A job whose outcome is already journaled (the
 // WithResume cached hook) is served from the checkpoint without running.
-func (f *Fleet[T]) execute(i int, job Job) Result[T] {
+// w is the worker lane for timeline attribution.
+func (f *Fleet[T]) execute(w, i int, job Job) Result[T] {
 	if f.cached != nil {
 		if val, ok := f.cached(i, job); ok {
 			f.c.queued.Add(-1)
@@ -342,15 +381,16 @@ func (f *Fleet[T]) execute(i int, job Job) Result[T] {
 	wallStart := time.Now()
 	for attempt := 1; attempt <= f.cfg.MaxAttempts; attempt++ {
 		res.Attempts = attempt
-		obs := &Observer{c: &f.c, onChange: f.notify}
-		val, err := f.attempt(job, obs)
+		ob := &Observer{c: &f.c, onChange: f.notify,
+			timeline: f.cfg.Timeline, worker: w, job: job.Label()}
+		val, err := f.attempt(w, job, ob)
 		if err == nil {
 			res.Value, res.Err = val, nil
 			break
 		}
 		// Undo the failed attempt's live contributions so the ticker
 		// reflects only completed or in-flight work, then retry clean.
-		obs.rollback()
+		ob.rollback()
 		res.AttemptErrors = append(res.AttemptErrors, err.Error())
 		res.Err = fmt.Errorf("fleet: job %s: attempt %d/%d: %w",
 			job.Label(), attempt, f.cfg.MaxAttempts, err)
@@ -369,6 +409,10 @@ func (f *Fleet[T]) execute(i int, job Job) Result[T] {
 	_ = span.End()
 
 	if res.Err == nil && f.persist != nil {
+		// Persist is serialized across workers, so with a deep queue this
+		// section shows up on the timeline as contention — phase-attribute
+		// the wait plus the fsync'd append together.
+		f.cfg.Timeline.Phase(w, job.Label(), obs.PhasePersist)
 		f.persistMu.Lock()
 		err := f.persist(i, job, res)
 		f.persistMu.Unlock()
@@ -389,17 +433,21 @@ func (f *Fleet[T]) execute(i int, job Job) Result[T] {
 
 // attempt builds a fresh testbed and runs the job once, converting a
 // panic anywhere in the campaign stack into a *PanicError.
-func (f *Fleet[T]) attempt(job Job, obs *Observer) (val T, err error) {
+func (f *Fleet[T]) attempt(w int, job Job, ob *Observer) (val T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = &PanicError{Value: r, Stack: string(debug.Stack())}
 		}
 	}()
+	f.cfg.Timeline.Phase(w, job.Label(), obs.PhaseBuild)
 	tb, err := job.build()
 	if err != nil {
 		return val, err
 	}
-	return f.runner(tb, job, obs)
+	// Runners that report pipeline phases (Observer.Phase) refine this;
+	// anything else is attributed to the catch-all run phase.
+	f.cfg.Timeline.Phase(w, job.Label(), obs.PhaseRun)
+	return f.runner(tb, job, ob)
 }
 
 // FirstError returns the first failed job's error in job order, or nil if

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zcover/internal/obs"
 	"zcover/internal/telemetry"
 )
 
@@ -140,9 +141,26 @@ type Observer struct {
 	c        *counters
 	onChange func()
 
+	// timeline/worker/job route Phase calls to the fleet's worker
+	// timeline; timeline may be nil (no-op).
+	timeline *obs.Timeline
+	worker   int
+	job      string
+
 	findings int64
 	packets  int64
 	simNanos int64
+}
+
+// Phase attributes the worker's wall time to a campaign phase from here
+// until the next transition (one of the obs.Phase* names — the harness
+// reports scan/discover/fuzz as the pipeline advances). No-op without a
+// timeline; never affects campaign results.
+func (o *Observer) Phase(name string) {
+	if o == nil {
+		return
+	}
+	o.timeline.Phase(o.worker, o.job, name)
 }
 
 // Finding records one new unique vulnerability (live — call it from the

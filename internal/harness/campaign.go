@@ -40,6 +40,10 @@ type Options struct {
 	// (scan, discover, fuzz), timestamped on the testbed's simulated clock
 	// so traces are deterministic.
 	Tracer *telemetry.Tracer
+	// OnPhase, when non-nil, is invoked at the start of each pipeline
+	// phase ("scan", "discover", "fuzz") on the campaign goroutine —
+	// the hook the fleet's worker timeline attributes wall time through.
+	OnPhase func(phase string)
 	// FrameBudget, when positive, caps the campaign's injected test frames
 	// (fuzz.Config.FrameBudget) — the equal-budget knob the covfuzz
 	// comparison tables use. Unlike the observers above this does change
@@ -48,7 +52,12 @@ type Options struct {
 }
 
 // phaseSpan opens a span on the simulated timeline; no-op without a tracer.
+// It also fires OnPhase, so span emission and wall-time attribution stay in
+// lockstep at every phase boundary.
 func (o Options) phaseSpan(tb *testbed.Testbed, name string, attrs map[string]string) *telemetry.Span {
+	if o.OnPhase != nil {
+		o.OnPhase(name)
+	}
 	return o.Tracer.SpanAt(name, "phase", attrs, tb.Clock.Now())
 }
 

@@ -54,6 +54,7 @@ func (o FleetOutcome) Fuzz() *fuzz.Result {
 func RunFleetJob(tb *testbed.Testbed, job fleet.Job, obs *fleet.Observer) (FleetOutcome, error) {
 	opts := Options{
 		OnFinding:           func(fuzz.Finding) { obs.Finding() },
+		OnPhase:             obs.Phase,
 		FlightRecorderDepth: int(fleetRecorderDepth.Load()),
 		FrameBudget:         job.Frames,
 	}

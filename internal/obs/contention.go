@@ -1,0 +1,266 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
+
+	"zcover/internal/telemetry"
+)
+
+// ProfileConfig tunes the runtime's contention collectors. The zero value
+// uses sensible campaign defaults.
+type ProfileConfig struct {
+	// MutexFraction is the sampling rate for mutex contention events
+	// (runtime.SetMutexProfileFraction): 1 in MutexFraction contended
+	// acquisitions is recorded. Zero means 5.
+	MutexFraction int
+	// BlockRate is the goroutine blocking sample threshold in nanoseconds
+	// (runtime.SetBlockProfileRate): a blocking event of d ns is recorded
+	// with probability min(1, d/BlockRate). Zero means 10µs.
+	BlockRate int
+}
+
+func (c ProfileConfig) withDefaults() ProfileConfig {
+	if c.MutexFraction <= 0 {
+		c.MutexFraction = 5
+	}
+	if c.BlockRate <= 0 {
+		c.BlockRate = int(10 * time.Microsecond)
+	}
+	return c
+}
+
+// StartProfiling enables runtime mutex and block profiling and returns a
+// restore func that puts both collectors back to their prior state.
+// Profiling taxes contended paths only (uncontended locks stay fast), and
+// never feeds back into campaign results.
+func StartProfiling(cfg ProfileConfig) (restore func()) {
+	cfg = cfg.withDefaults()
+	prevMutex := runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	runtime.SetBlockProfileRate(cfg.BlockRate)
+	return func() {
+		runtime.SetMutexProfileFraction(prevMutex)
+		runtime.SetBlockProfileRate(0)
+	}
+}
+
+// SnapshotProfiles writes pprof-format snapshots of the runtime profiles
+// into dir (created if missing): mutex.pb.gz, block.pb.gz, goroutine.pb.gz,
+// heap.pb.gz, allocs.pb.gz, threadcreate.pb.gz. The CLIs call it once at
+// campaign end when -profile-dir is set; `go tool pprof` reads the files.
+func SnapshotProfiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("obs: profile dir: %w", err)
+	}
+	for _, name := range []string{"mutex", "block", "goroutine", "heap", "allocs", "threadcreate"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		path := filepath.Join(dir, name+".pb.gz")
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		err = p.WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("obs: writing %s profile: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// LockSite is one contended synchronization site aggregated from the
+// runtime mutex profile.
+type LockSite struct {
+	// Site is the function that held the contended lock (the frame that
+	// called Unlock), e.g. "zcover/internal/telemetry.(*Registry).Counter".
+	Site string `json:"site"`
+	// Count is the number of sampled contention events.
+	Count int64 `json:"count"`
+	// DelayCycles is the cumulative sampled wait, in CPU cycles (the
+	// runtime's native unit; comparable within one report, not across
+	// machines).
+	DelayCycles int64 `json:"delay_cycles"`
+}
+
+// TopContendedLocks ranks lock sites by cumulative sampled delay from the
+// runtime mutex profile, best-effort symbolized, most contended first.
+// Returns at most n sites (n <= 0 means all). Mutex profiling must have
+// been enabled (StartProfiling) for the profile to contain anything.
+func TopContendedLocks(n int) []LockSite {
+	records := make([]runtime.BlockProfileRecord, 64)
+	for {
+		cnt, ok := runtime.MutexProfile(records)
+		if ok {
+			records = records[:cnt]
+			break
+		}
+		records = make([]runtime.BlockProfileRecord, len(records)*2)
+	}
+	agg := map[string]*LockSite{}
+	for _, rec := range records {
+		site := symbolize(rec.Stack())
+		ls, ok := agg[site]
+		if !ok {
+			ls = &LockSite{Site: site}
+			agg[site] = ls
+		}
+		ls.Count += rec.Count
+		ls.DelayCycles += rec.Cycles
+	}
+	out := make([]LockSite, 0, len(agg))
+	for _, ls := range agg {
+		out = append(out, *ls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].DelayCycles != out[j].DelayCycles {
+			return out[i].DelayCycles > out[j].DelayCycles
+		}
+		return out[i].Site < out[j].Site
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// symbolize names the most meaningful frame of a contention stack: the
+// first non-runtime, non-sync frame (the code that owned the lock), or
+// the innermost frame when everything is runtime-internal.
+func symbolize(stack []uintptr) string {
+	if len(stack) == 0 {
+		return "unknown"
+	}
+	frames := runtime.CallersFrames(stack)
+	first := ""
+	for {
+		fr, more := frames.Next()
+		name := fr.Function
+		if name == "" {
+			name = fmt.Sprintf("pc=%#x", fr.PC)
+		}
+		if first == "" {
+			first = name
+		}
+		if !strings.HasPrefix(name, "runtime.") && !strings.HasPrefix(name, "sync.") &&
+			!strings.HasPrefix(name, "internal/sync.") {
+			return name
+		}
+		if !more {
+			return first
+		}
+	}
+}
+
+// Runtime metric gauge names (SampleRuntimeMetrics). Everything is an
+// integer gauge so it folds into the existing registry export.
+const (
+	MetricGomaxprocs       = "obs_gomaxprocs"
+	MetricNumCPU           = "obs_num_cpu"
+	MetricGoroutines       = "obs_goroutines"
+	MetricGCCycles         = "obs_gc_cycles_total"
+	MetricGCPauseTotalNs   = "obs_gc_pause_total_ns"
+	MetricHeapAllocBytes   = "obs_heap_alloc_bytes"
+	MetricSchedLatencyP50  = "obs_sched_latency_p50_ns"
+	MetricSchedLatencyP99  = "obs_sched_latency_p99_ns"
+	MetricTotalAllocBytes  = "obs_total_alloc_bytes"
+	MetricMutexContentions = "obs_mutex_contentions_sampled"
+)
+
+// RuntimeSample is one reading of the scheduler/GC health metrics.
+type RuntimeSample struct {
+	Gomaxprocs       int     `json:"gomaxprocs"`
+	NumCPU           int     `json:"num_cpu"`
+	Goroutines       int     `json:"goroutines"`
+	GCCycles         uint32  `json:"gc_cycles"`
+	GCPauseTotal     int64   `json:"gc_pause_total_ns"`
+	HeapAllocBytes   uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes  uint64  `json:"total_alloc_bytes"`
+	SchedLatencyP50  int64   `json:"sched_latency_p50_ns"`
+	SchedLatencyP99  int64   `json:"sched_latency_p99_ns"`
+	MutexContentions int64   `json:"mutex_contentions_sampled"`
+	GCPauseShare     float64 `json:"-"` // filled by callers that know wall time
+}
+
+// SampleRuntimeMetrics reads the scheduler and GC health counters
+// (runtime/metrics plus ReadMemStats) and, when reg is non-nil, publishes
+// them as obs_* gauges so /metrics and -metrics-out carry them.
+func SampleRuntimeMetrics(reg *telemetry.Registry) RuntimeSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s := RuntimeSample{
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Goroutines:      runtime.NumGoroutine(),
+		GCCycles:        ms.NumGC,
+		GCPauseTotal:    int64(ms.PauseTotalNs),
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+	}
+	samples := []metrics.Sample{{Name: "/sched/latencies:seconds"}}
+	metrics.Read(samples)
+	if h := samples[0].Value; h.Kind() == metrics.KindFloat64Histogram {
+		s.SchedLatencyP50 = histQuantileNs(h.Float64Histogram(), 0.50)
+		s.SchedLatencyP99 = histQuantileNs(h.Float64Histogram(), 0.99)
+	}
+	for _, ls := range TopContendedLocks(0) {
+		s.MutexContentions += ls.Count
+	}
+	if reg != nil {
+		reg.Gauge(MetricGomaxprocs).Set(int64(s.Gomaxprocs))
+		reg.Gauge(MetricNumCPU).Set(int64(s.NumCPU))
+		reg.Gauge(MetricGoroutines).Set(int64(s.Goroutines))
+		reg.Gauge(MetricGCCycles).Set(int64(s.GCCycles))
+		reg.Gauge(MetricGCPauseTotalNs).Set(s.GCPauseTotal)
+		reg.Gauge(MetricHeapAllocBytes).Set(int64(s.HeapAllocBytes))
+		reg.Gauge(MetricTotalAllocBytes).Set(int64(s.TotalAllocBytes))
+		reg.Gauge(MetricSchedLatencyP50).Set(s.SchedLatencyP50)
+		reg.Gauge(MetricSchedLatencyP99).Set(s.SchedLatencyP99)
+		reg.Gauge(MetricMutexContentions).Set(s.MutexContentions)
+	}
+	return s
+}
+
+// histQuantileNs extracts an approximate quantile from a runtime/metrics
+// float64 histogram of seconds, returned in nanoseconds (the bucket's
+// upper bound; good enough for p50/p99 health readings).
+func histQuantileNs(h *metrics.Float64Histogram, q float64) int64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total) * q)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum > target {
+			// Buckets[i+1] is the bucket's upper bound; the last bucket's
+			// bound can be +Inf, so fall back to its lower bound.
+			bound := h.Buckets[i+1]
+			if math.IsInf(bound, 0) {
+				bound = h.Buckets[i]
+			}
+			return int64(bound * 1e9)
+		}
+	}
+	bound := h.Buckets[len(h.Buckets)-1]
+	if math.IsInf(bound, 0) && len(h.Buckets) > 1 {
+		bound = h.Buckets[len(h.Buckets)-2]
+	}
+	return int64(bound * 1e9)
+}

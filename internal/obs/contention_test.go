@@ -1,0 +1,107 @@
+package obs_test
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+
+	"zcover/internal/obs"
+	"zcover/internal/telemetry"
+)
+
+// grind produces guaranteed mutex contention so the runtime profile has
+// something to record even on a single-P host, where goroutines hammering
+// a short critical section almost never overlap. Each round parks a
+// contender on a held lock before releasing it: with MutexProfileFraction
+// 1 every such contended unlock is sampled.
+func grind() {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for round := 0; round < 50; round++ {
+		mu.Lock()
+		started := make(chan struct{})
+		wg.Add(1)
+		go func() {
+			close(started)
+			mu.Lock() // blocks: the lock is held across this round
+			mu.Unlock()
+			wg.Done()
+		}()
+		<-started
+		runtime.Gosched() // let the contender reach Lock and park
+		mu.Unlock()       // contended unlock → mutex profile event
+		wg.Wait()
+	}
+}
+
+func TestStartProfilingRestores(t *testing.T) {
+	before := runtime.SetMutexProfileFraction(-1) // read without changing
+	restore := obs.StartProfiling(obs.ProfileConfig{MutexFraction: 1})
+	if got := runtime.SetMutexProfileFraction(-1); got != 1 {
+		t.Errorf("mutex fraction while profiling = %d, want 1", got)
+	}
+	restore()
+	if got := runtime.SetMutexProfileFraction(-1); got != before {
+		t.Errorf("mutex fraction after restore = %d, want %d", got, before)
+	}
+}
+
+func TestSnapshotProfilesWritesFiles(t *testing.T) {
+	restore := obs.StartProfiling(obs.ProfileConfig{MutexFraction: 1})
+	defer restore()
+	grind()
+
+	dir := filepath.Join(t.TempDir(), "profiles")
+	if err := obs.SnapshotProfiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mutex.pb.gz", "block.pb.gz", "goroutine.pb.gz", "heap.pb.gz"} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestTopContendedLocks(t *testing.T) {
+	restore := obs.StartProfiling(obs.ProfileConfig{MutexFraction: 1})
+	defer restore()
+	grind()
+
+	locks := obs.TopContendedLocks(0)
+	if len(locks) == 0 {
+		t.Fatal("no contention sampled: grind() guarantees parked contenders")
+	}
+	for i := 1; i < len(locks); i++ {
+		if locks[i].DelayCycles > locks[i-1].DelayCycles {
+			t.Errorf("locks not sorted by delay: %v before %v", locks[i-1], locks[i])
+		}
+	}
+	if n := len(obs.TopContendedLocks(1)); n > 1 {
+		t.Errorf("TopContendedLocks(1) returned %d sites", n)
+	}
+}
+
+func TestSampleRuntimeMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := obs.SampleRuntimeMetrics(reg)
+	if s.Gomaxprocs < 1 || s.NumCPU < 1 || s.Goroutines < 1 {
+		t.Errorf("implausible sample: %+v", s)
+	}
+	if got := reg.Gauge(obs.MetricGomaxprocs).Load(); got != int64(s.Gomaxprocs) {
+		t.Errorf("gauge %s = %d, want %d", obs.MetricGomaxprocs, got, s.Gomaxprocs)
+	}
+	if got := reg.Gauge(obs.MetricNumCPU).Load(); got != int64(s.NumCPU) {
+		t.Errorf("gauge %s = %d, want %d", obs.MetricNumCPU, got, s.NumCPU)
+	}
+	// A nil registry must still return a sample without publishing.
+	if s := obs.SampleRuntimeMetrics(nil); s.Gomaxprocs < 1 {
+		t.Errorf("nil-registry sample: %+v", s)
+	}
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"zcover/internal/telemetry"
+)
+
+// Server is the unified observability HTTP endpoint both CLIs expose with
+// -obs-addr: one mux serving
+//
+//	/debug/pprof/...  the standard pprof index and profiles
+//	/metrics          the telemetry registry in Prometheus text format
+//	/healthz          200 "ok" liveness probe
+//	/timeline         the live worker timeline snapshot as JSON
+//
+// Unlike the fire-and-forget `go http.ListenAndServe` pattern it
+// replaces, NewServer binds its listener synchronously — a bad address or
+// occupied port fails the command before the campaign starts instead of
+// printing to stderr mid-run — and Close drains in-flight requests
+// gracefully at campaign end.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+	// done closes when Serve returns; Close waits on it so shutdown is
+	// not racing the serve loop.
+	done chan struct{}
+	err  error
+}
+
+// NewServer binds addr and starts serving the observability mux. reg nil
+// means the process-wide telemetry default; tl may be nil (the /timeline
+// endpoint then reports an empty snapshot).
+func NewServer(addr string, reg *telemetry.Registry, tl *Timeline) (*Server, error) {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := tl.Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	s := &Server{
+		lis:  lis,
+		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(lis); err != nil && err != http.ErrServerClosed {
+			s.err = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close shuts the server down gracefully within ctx's deadline (in-flight
+// requests drain), falling back to a hard close, and returns any serve
+// error. Safe on a nil server, so CLIs can `defer srv.Close(ctx)`
+// unconditionally.
+func (s *Server) Close(ctx context.Context) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		s.srv.Close()
+	}
+	<-s.done
+	return s.err
+}

@@ -1,0 +1,311 @@
+// Package obs is the campaign execution profiler: it turns "the fleet
+// doesn't scale" into a ranked, reproducible bottleneck report.
+//
+// The package layers four pieces on the telemetry registry and span
+// tracer from internal/telemetry:
+//
+//   - Worker timelines (Timeline): per-worker wall-clock intervals
+//     attributed to campaign phases (testbed build, scan, discovery, the
+//     fuzz loop, checkpoint persist, idle). Serialization shows up as
+//     idle gaps; phase dominance shows up as wall share.
+//   - Contention capture (StartProfiling, SnapshotProfiles,
+//     TopContendedLocks, SampleRuntimeMetrics): opt-in runtime mutex and
+//     block profiling, pprof-format snapshots at campaign end, and
+//     runtime/metrics samples (GC, goroutines, scheduler latency) folded
+//     into the metrics registry.
+//   - A unified observability HTTP server (Server): one mux serving
+//     /debug/pprof, /metrics (Prometheus text from the registry),
+//     /healthz, and /timeline (the live worker timeline as JSON) —
+//     replacing the fire-and-forget pprof goroutines the CLIs used to
+//     start.
+//   - The scaling report (ScalingReport): parallel efficiency across
+//     worker counts with per-phase wall-time attribution and a
+//     deterministic bottleneck ranking.
+//
+// Determinism contract: nothing in this package is consulted by the
+// simulation. Attaching a Timeline, enabling contention profiling, or
+// serving the HTTP endpoints cannot change what a campaign finds — the
+// experiment tables stay byte-identical with profiling on or off, at any
+// worker count (pinned in internal/harness tests).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Phase names the fleet and harness attribute worker wall time to. A
+// custom fleet runner that never reports phases has its whole run
+// attributed to PhaseRun.
+const (
+	// PhaseIdle is time a worker spends without a job: waiting for work
+	// at the queue, or drained at the end of a campaign. Idle gaps while
+	// jobs remain queued are the signature of serialization.
+	PhaseIdle = "idle"
+	// PhaseBuild is per-attempt testbed construction (devices, pairing,
+	// S2 key exchange), before the campaign proper starts.
+	PhaseBuild = "build"
+	// PhaseScan is phase 1 of the pipeline: passive fingerprinting.
+	PhaseScan = "scan"
+	// PhaseDiscover is phase 2: unknown-properties discovery.
+	PhaseDiscover = "discover"
+	// PhaseFuzz is phase 3: the fuzz loop, oracle grading included (the
+	// oracle observes findings inline on the simulated timeline).
+	PhaseFuzz = "fuzz"
+	// PhasePersist is checkpoint journaling: encoding the outcome and the
+	// fsync'd journal append, serialized across workers.
+	PhasePersist = "persist"
+	// PhaseRun is runner execution not otherwise attributed (custom
+	// runners, or the slice between phases).
+	PhaseRun = "run"
+)
+
+// Interval is one contiguous stretch of one worker's wall time spent in a
+// single phase.
+type Interval struct {
+	// Worker is the fleet worker lane (0-based).
+	Worker int `json:"worker"`
+	// Job labels the job being executed ("" for idle intervals).
+	Job string `json:"job,omitempty"`
+	// Phase is one of the Phase* constants (or a custom phase name).
+	Phase string `json:"phase"`
+	// Start and End bound the interval on the wall clock.
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Dur returns the interval's length.
+func (iv Interval) Dur() time.Duration { return iv.End.Sub(iv.Start) }
+
+// lane is one worker's recording state.
+type lane struct {
+	intervals []Interval
+	open      Interval // open.Phase == "" means no interval in flight
+	active    bool
+}
+
+// Timeline records per-worker phase intervals. All methods are safe for
+// concurrent use and safe on a nil receiver (a nil *Timeline is a valid
+// no-op recorder, mirroring telemetry.Tracer), so the fleet and harness
+// call sites need no guards.
+//
+// Recording cost is one mutex acquisition per phase transition — a
+// handful per job, nowhere near the per-frame hot path.
+type Timeline struct {
+	mu    sync.Mutex
+	now   func() time.Time
+	lanes map[int]*lane
+	start time.Time
+}
+
+// NewTimeline returns an empty timeline on the wall clock.
+func NewTimeline() *Timeline {
+	return &Timeline{now: time.Now, lanes: map[int]*lane{}}
+}
+
+// SetNow overrides the timeline clock (tests). Not for concurrent use
+// with recording.
+func (t *Timeline) SetNow(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+}
+
+// StartWorker opens worker w's lane in the idle phase. The fleet calls it
+// once per worker goroutine before the job loop.
+func (t *Timeline) StartWorker(w int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	if t.start.IsZero() || now.Before(t.start) {
+		t.start = now
+	}
+	ln := t.lane(w)
+	ln.active = true
+	t.transition(ln, w, "", PhaseIdle, now)
+}
+
+// StopWorker closes worker w's open interval and marks the lane drained.
+func (t *Timeline) StopWorker(w int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ln := t.lane(w)
+	t.closeOpen(ln, t.now())
+	ln.active = false
+}
+
+// Phase transitions worker w into the given phase of the given job,
+// closing whatever interval was open. Use job "" with PhaseIdle for
+// between-job waits.
+func (t *Timeline) Phase(w int, job, phase string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.transition(t.lane(w), w, job, phase, t.now())
+}
+
+// lane returns worker w's lane, creating it. Callers hold t.mu.
+func (t *Timeline) lane(w int) *lane {
+	ln, ok := t.lanes[w]
+	if !ok {
+		ln = &lane{}
+		t.lanes[w] = ln
+	}
+	return ln
+}
+
+// closeOpen completes the lane's open interval at now. Callers hold t.mu.
+func (t *Timeline) closeOpen(ln *lane, now time.Time) {
+	if ln.open.Phase == "" {
+		return
+	}
+	ln.open.End = now
+	ln.intervals = append(ln.intervals, ln.open)
+	ln.open = Interval{}
+}
+
+// transition closes the open interval and opens a new one. Callers hold t.mu.
+func (t *Timeline) transition(ln *lane, w int, job, phase string, now time.Time) {
+	t.closeOpen(ln, now)
+	ln.open = Interval{Worker: w, Job: job, Phase: phase, Start: now}
+}
+
+// WorkerStats is one worker's aggregate over a timeline snapshot.
+type WorkerStats struct {
+	// Worker is the lane index.
+	Worker int `json:"worker"`
+	// BusySec and IdleSec split the worker's recorded wall time.
+	BusySec float64 `json:"busy_sec"`
+	IdleSec float64 `json:"idle_sec"`
+	// Jobs is how many distinct job labels the worker executed.
+	Jobs int `json:"jobs"`
+}
+
+// BusyShare is the busy fraction of the worker's recorded time.
+func (w WorkerStats) BusyShare() float64 {
+	total := w.BusySec + w.IdleSec
+	if total <= 0 {
+		return 0
+	}
+	return w.BusySec / total
+}
+
+// Snapshot is a consistent copy of a timeline with aggregates.
+type Snapshot struct {
+	// Start is the earliest recorded instant.
+	Start time.Time `json:"start"`
+	// At is when the snapshot was taken.
+	At time.Time `json:"at"`
+	// Workers aggregates each lane, ordered by worker index.
+	Workers []WorkerStats `json:"workers"`
+	// PhaseWallSec is total wall time per phase, summed across workers.
+	PhaseWallSec map[string]float64 `json:"phase_wall_sec"`
+	// Intervals is every completed interval plus in-flight ones truncated
+	// at the snapshot instant, ordered by worker then start time.
+	Intervals []Interval `json:"intervals"`
+}
+
+// WallSec is the snapshot's elapsed wall clock (Start to At).
+func (s Snapshot) WallSec() float64 {
+	if s.Start.IsZero() {
+		return 0
+	}
+	return s.At.Sub(s.Start).Seconds()
+}
+
+// PhaseShares returns phases sorted by descending wall share of the
+// summed per-phase time (idle included).
+func (s Snapshot) PhaseShares() []PhaseShare {
+	var total float64
+	for _, sec := range s.PhaseWallSec {
+		total += sec
+	}
+	out := make([]PhaseShare, 0, len(s.PhaseWallSec))
+	for phase, sec := range s.PhaseWallSec {
+		ps := PhaseShare{Phase: phase, WallSec: sec}
+		if total > 0 {
+			ps.Share = sec / total
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WallSec != out[j].WallSec {
+			return out[i].WallSec > out[j].WallSec
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}
+
+// PhaseShare is one phase's slice of the fleet's summed wall time.
+type PhaseShare struct {
+	Phase   string  `json:"phase"`
+	WallSec float64 `json:"wall_sec"`
+	Share   float64 `json:"share"`
+}
+
+// Snapshot captures the timeline, truncating in-flight intervals at the
+// current instant. Safe to call concurrently with recording (the
+// /timeline endpoint does). A nil timeline yields a zero snapshot.
+func (t *Timeline) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	snap := Snapshot{Start: t.start, At: now, PhaseWallSec: map[string]float64{}}
+	workers := make([]int, 0, len(t.lanes))
+	for w := range t.lanes {
+		workers = append(workers, w)
+	}
+	sort.Ints(workers)
+	for _, w := range workers {
+		ln := t.lanes[w]
+		ivs := append([]Interval(nil), ln.intervals...)
+		if ln.open.Phase != "" {
+			open := ln.open
+			open.End = now
+			ivs = append(ivs, open)
+		}
+		ws := WorkerStats{Worker: w}
+		jobs := map[string]bool{}
+		for _, iv := range ivs {
+			sec := iv.Dur().Seconds()
+			snap.PhaseWallSec[iv.Phase] += sec
+			if iv.Phase == PhaseIdle {
+				ws.IdleSec += sec
+			} else {
+				ws.BusySec += sec
+				if iv.Job != "" {
+					jobs[iv.Job] = true
+				}
+			}
+		}
+		ws.Jobs = len(jobs)
+		snap.Workers = append(snap.Workers, ws)
+		snap.Intervals = append(snap.Intervals, ivs...)
+	}
+	return snap
+}
+
+// WriteJSON renders the snapshot as one indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

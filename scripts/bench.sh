@@ -31,6 +31,13 @@ done
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
+# Host stamp: every JSON entry carries the commit and the parallelism the
+# numbers were measured under, so bench trajectories stay attributable
+# when runs from different machines land in the same history.
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+num_cpu="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+gomaxprocs="${GOMAXPROCS:-$num_cpu}"
+
 echo "== go test -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign|BenchmarkCovFuzz' -benchmem (benchtime $benchtime) =="
 go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism|BenchmarkChaosCampaign|BenchmarkCovFuzz' \
     -benchmem -benchtime "$benchtime" | tee "$raw"
@@ -38,7 +45,7 @@ go test ./internal/harness -run '^$' -bench 'BenchmarkFleetParallelism|Benchmark
 # Benchmark lines look like:
 #   BenchmarkFleetParallelism/workers=4-8  3  123456 ns/op  45.6 simsec/s  789 B/op  12 allocs/op
 # Units follow their values, so scan field pairs instead of positions.
-awk '
+awk -v sha="$git_sha" -v gmp="$gomaxprocs" -v ncpu="$num_cpu" '
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
@@ -49,7 +56,9 @@ awk '
         if ($(i+1) == "allocs/op")  allocs = $i
         if ($(i+1) == "simsec/s")   rate = $i
     }
-    line = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"sim_rate\": %s}", name, ns, bop, allocs, rate)
+    # One entry per line: verify.sh'"'"'s allocs ratchet greps name and
+    # allocs_per_op off the same line.
+    line = sprintf("  {\"name\": \"%s\", \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"sim_rate\": %s, \"git_sha\": \"%s\", \"gomaxprocs\": %s, \"num_cpu\": %s}", name, ns, bop, allocs, rate, sha, gmp, ncpu)
     lines = (lines == "" ? line : lines ",\n" line)
 }
 END { printf "[\n%s\n]\n", lines }

@@ -1,0 +1,54 @@
+#!/bin/sh
+# bench_scaling.sh — run the fleet worker-scaling sweep and write
+# BENCH_scaling.json (sim-rate, parallel efficiency, per-phase wall share,
+# top contended locks, ranked bottlenecks). `make bench-scaling` wraps it.
+#
+#   ./scripts/bench_scaling.sh          # sweep workers 1,2,4,8, 24h budgets
+#   ./scripts/bench_scaling.sh -gate    # also fail if parallel efficiency at
+#                                       # the top worker count regressed >10%
+#                                       # vs the committed BENCH_scaling.json
+#   SCALING_BUDGET=2h SCALING_WORKERS=1,4 ./scripts/bench_scaling.sh
+#   SCALING_OUT=/tmp/s.json PROFILE_DIR=/tmp/profiles ./scripts/bench_scaling.sh
+#
+# The gate compares efficiency (speedup over the host's own ideal,
+# min(workers, GOMAXPROCS)), so reports from a 1-core container and an
+# 8-core runner gate against the same bar.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${SCALING_OUT:-BENCH_scaling.json}"
+budget="${SCALING_BUDGET:-24h}"
+workers="${SCALING_WORKERS:-1,2,4,8}"
+profdir="${PROFILE_DIR:-}"
+gate=""
+for arg in "$@"; do
+    case "$arg" in
+    -gate) gate="yes" ;;
+    *)
+        echo "bench_scaling.sh: unknown flag $arg (want -gate)" >&2
+        exit 2
+        ;;
+    esac
+done
+
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+set -- -run scaling -fuzz "$budget" -scaling-workers "$workers" \
+    -scaling-out "$out" -git-sha "$git_sha"
+if [ -n "$gate" ]; then
+    if [ ! -f BENCH_scaling.json ]; then
+        echo "bench_scaling.sh: -gate needs a committed BENCH_scaling.json" >&2
+        exit 2
+    fi
+    # The CLI loads the baseline before overwriting $out, so gating the
+    # file in place compares old-versus-new.
+    set -- "$@" -scaling-baseline BENCH_scaling.json
+fi
+if [ -n "$profdir" ]; then
+    set -- "$@" -profile-dir "$profdir"
+fi
+
+echo "== experiments -run scaling (budget $budget, workers $workers) =="
+go run ./cmd/experiments "$@"
+echo "bench-scaling: wrote $out"
