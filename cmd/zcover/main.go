@@ -32,6 +32,16 @@ func main() {
 }
 
 func run(args []string) error {
+	// Subcommands dispatch before flag parsing; a bare invocation is the
+	// classic single-campaign CLI.
+	if len(args) > 0 {
+		switch args[0] {
+		case "coordinate":
+			return runCoordinate(args[1:])
+		case "work":
+			return runWork(args[1:])
+		}
+	}
 	fs := flag.NewFlagSet("zcover", flag.ContinueOnError)
 	target := fs.String("target", "D1", "testbed controller to attack (D1..D7)")
 	strategy := fs.String("strategy", "full", "fuzzing strategy: full, beta, or gamma")

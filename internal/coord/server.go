@@ -1,0 +1,471 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"zcover/internal/checkpoint"
+	"zcover/internal/fleet"
+)
+
+// Config describes the campaign a Coordinator serves.
+type Config struct {
+	// Campaign names the experiment; it keys the journal filename.
+	Campaign string
+	// Jobs is the full job list, in render order.
+	Jobs []fleet.Job
+	// SpecHash fingerprints Campaign+Jobs (harness.CampaignSpecHash);
+	// result uploads must echo it and drifted journals are refused.
+	SpecHash string
+	// Dir is the checkpoint directory holding the coordinator's journal.
+	// The journal is the coordinator's only durable state: a restarted
+	// coordinator recovers every completed job from it and re-leases the
+	// rest. The file is the same format (and path) a single-machine
+	// checkpointed run writes, so `experiments -merge` can render it.
+	Dir string
+	// Resume permits recovering an existing journal; without it an
+	// existing journal is an error, exactly like the CLI -resume rule.
+	Resume bool
+	// LeaseTTL is the lease deadline; zero means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+	// RetryAfter is the backoff hint returned when every remaining job
+	// is leased; zero means one tenth of LeaseTTL.
+	RetryAfter time.Duration
+	// now is the test clock hook; nil means time.Now.
+	now func() time.Time
+}
+
+// lease is one outstanding work assignment. Leases are scheduling state
+// only: they never gate result uploads and are not persisted.
+type lease struct {
+	id       string
+	jobIndex int
+	worker   string
+	deadline time.Time
+}
+
+// jobState tracks one job's lifecycle on the coordinator.
+type jobState struct {
+	label    string
+	done     bool
+	body     json.RawMessage
+	attempts int
+	// lease is the job's current assignment (nil when unassigned). An
+	// expired lease is replaced on the next /lease poll; the old ID
+	// becomes unknown, so its heartbeats answer 410 Gone.
+	lease *lease
+}
+
+// Coordinator is the campaign-side half of the protocol. Construct with
+// New, mount Handler on an HTTP server, and Wait for completion.
+type Coordinator struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     []jobState
+	journal  *checkpoint.Journal
+	done     int
+	failure  error
+	finished chan struct{}
+	leaseSeq int
+	workers  map[string]*WorkerStatus
+	expired  int64
+	dupes    int64
+	rejected int64
+}
+
+// New builds a coordinator for the campaign, creating its journal (or
+// recovering an existing one when cfg.Resume). Jobs already journaled
+// are complete immediately; a coordinator whose journal covers every job
+// is born finished.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Campaign == "" || len(cfg.Jobs) == 0 || cfg.SpecHash == "" {
+		return nil, fmt.Errorf("coord: campaign, jobs, and spec hash are all required")
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("coord: a checkpoint dir is required — the journal is the coordinator's durable state")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = cfg.LeaseTTL / 10
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		jobs:     make([]jobState, len(cfg.Jobs)),
+		finished: make(chan struct{}),
+		workers:  make(map[string]*WorkerStatus),
+	}
+	for i, job := range cfg.Jobs {
+		c.jobs[i].label = job.Label()
+	}
+	manifest := checkpoint.Manifest{
+		Campaign: cfg.Campaign, SpecHash: cfg.SpecHash,
+		TotalJobs: len(cfg.Jobs), ShardIndex: 1, ShardCount: 1,
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("coord: %w", err)
+	}
+	path := checkpoint.JournalPath(cfg.Dir, cfg.Campaign, 1, 1)
+	journal, replay, err := openJournal(path, manifest, cfg.Resume)
+	if err != nil {
+		return nil, err
+	}
+	c.journal = journal
+	if replay != nil {
+		recs, err := replay.ByIndex()
+		if err != nil {
+			journal.Close()
+			return nil, err
+		}
+		for idx, rec := range recs {
+			if idx < 0 || idx >= len(c.jobs) {
+				journal.Close()
+				return nil, fmt.Errorf("coord: %s: job index %d out of range [0,%d)", path, idx, len(c.jobs))
+			}
+			c.jobs[idx].done = true
+			c.jobs[idx].body = rec.Body
+			c.jobs[idx].attempts = rec.Attempts
+			c.done++
+			checkpoint.NoteResumed()
+		}
+	}
+	if c.done == len(c.jobs) {
+		close(c.finished)
+	}
+	return c, nil
+}
+
+// openJournal creates path, or recovers it when resume permits.
+func openJournal(path string, manifest checkpoint.Manifest, resume bool) (*checkpoint.Journal, *checkpoint.Replay, error) {
+	if _, err := os.Stat(path); err != nil {
+		journal, cerr := checkpoint.Create(path, manifest)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		return journal, nil, nil
+	}
+	if !resume {
+		return nil, nil, fmt.Errorf("coord: journal %s already exists; pass -resume to continue it or remove it to start over", path)
+	}
+	journal, replay, err := checkpoint.Recover(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := replay.Manifest
+	if m.Campaign != manifest.Campaign || m.SpecHash != manifest.SpecHash || m.TotalJobs != manifest.TotalJobs {
+		journal.Close()
+		return nil, nil, fmt.Errorf("coord: %s was written for campaign %q spec %s (%d jobs), this run is %q spec %s (%d jobs)",
+			path, m.Campaign, m.SpecHash, m.TotalJobs, manifest.Campaign, manifest.SpecHash, manifest.TotalJobs)
+	}
+	return journal, replay, nil
+}
+
+// Handler returns the coordinator's HTTP mux.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest", c.handleManifest)
+	mux.HandleFunc("/lease", c.handleLease)
+	mux.HandleFunc("/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/result", c.handleResult)
+	mux.Handle("/status", c.StatusHandler())
+	return mux
+}
+
+// StatusHandler serves the live Status JSON — mounted at /status on the
+// coordinator's own mux and at /coord on the observability server.
+func (c *Coordinator) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+}
+
+// Wait blocks until every job has a journaled outcome (nil) or the
+// campaign failed terminally on some worker (that job's error), or ctx
+// ends. Workers polling after completion are told Done so they exit.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	select {
+	case <-c.finished:
+	case <-ctx.Done():
+		return fmt.Errorf("coord: %s interrupted with %d of %d jobs complete",
+			c.cfg.Campaign, c.doneCount(), len(c.cfg.Jobs))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.failure
+}
+
+// doneCount returns the completed-job count.
+func (c *Coordinator) doneCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.done
+}
+
+// Records returns every journaled outcome in job order. Valid only after
+// Wait returned nil.
+func (c *Coordinator) Records() ([]checkpoint.JobRecord, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.failure != nil {
+		return nil, c.failure
+	}
+	if c.done != len(c.jobs) {
+		return nil, fmt.Errorf("coord: %s incomplete: %d of %d jobs", c.cfg.Campaign, c.done, len(c.jobs))
+	}
+	out := make([]checkpoint.JobRecord, len(c.jobs))
+	for i := range c.jobs {
+		out[i] = checkpoint.JobRecord{
+			Index: i, Label: c.jobs[i].label,
+			Attempts: c.jobs[i].attempts, Body: c.jobs[i].body,
+		}
+	}
+	return out, nil
+}
+
+// Close releases the journal. Completed records are already durable.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.journal.Close()
+}
+
+// Status snapshots the coordinator's live state.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		Campaign: c.cfg.Campaign, SpecHash: c.cfg.SpecHash,
+		TotalJobs: len(c.jobs), Done: c.done, LeaseTTL: c.cfg.LeaseTTL,
+		Expired: c.expired, Duplicates: c.dupes, Rejected: c.rejected,
+		Workers: make(map[string]WorkerStatus, len(c.workers)),
+	}
+	if c.failure != nil {
+		s.Failed = c.failure.Error()
+	}
+	now := c.cfg.now()
+	for i := range c.jobs {
+		if l := c.jobs[i].lease; l != nil && !c.jobs[i].done && now.Before(l.deadline) {
+			s.Leased++
+		}
+	}
+	for id, w := range c.workers {
+		s.Workers[id] = *w
+	}
+	return s
+}
+
+// touchWorker records that a worker was heard from. Callers hold mu.
+func (c *Coordinator) touchWorker(id string) *WorkerStatus {
+	w := c.workers[id]
+	if w == nil {
+		w = &WorkerStatus{}
+		c.workers[id] = w
+	}
+	w.LastSeen = c.cfg.now()
+	return w
+}
+
+// handleManifest answers GET /manifest.
+func (c *Coordinator) handleManifest(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, ManifestReply{
+		Campaign: c.cfg.Campaign, SpecHash: c.cfg.SpecHash,
+		TotalJobs: len(c.cfg.Jobs), LeaseTTL: c.cfg.LeaseTTL,
+	})
+}
+
+// handleLease answers POST /lease: the next unleased (or expired-lease)
+// job in index order, a retry-after hint, or done.
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorker(req.Worker)
+	if c.done == len(c.jobs) || c.failure != nil {
+		writeJSON(w, http.StatusOK, LeaseReply{Done: true})
+		return
+	}
+	now := c.cfg.now()
+	for i := range c.jobs {
+		js := &c.jobs[i]
+		if js.done {
+			continue
+		}
+		if l := js.lease; l != nil {
+			if now.Before(l.deadline) {
+				continue
+			}
+			// The holder went quiet past its deadline: re-issue. The job
+			// is idempotent, so if the straggler finishes anyway its
+			// upload is deduplicated against the new holder's.
+			js.lease = nil
+			c.expired++
+			mExpired.Inc()
+		}
+		c.leaseSeq++
+		l := &lease{
+			id:       fmt.Sprintf("L%d-j%d", c.leaseSeq, i),
+			jobIndex: i, worker: req.Worker,
+			deadline: now.Add(c.cfg.LeaseTTL),
+		}
+		js.lease = l
+		c.touchWorker(req.Worker).Leases++
+		mLeases.Inc()
+		job := c.cfg.Jobs[i]
+		writeJSON(w, http.StatusOK, LeaseReply{
+			LeaseID: l.id, JobIndex: i, Job: &job,
+			TTL: c.cfg.LeaseTTL, SpecHash: c.cfg.SpecHash,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, LeaseReply{RetryAfter: c.cfg.RetryAfter})
+}
+
+// handleHeartbeat answers POST /heartbeat: extends a live lease, or 410
+// Gone when the lease expired (or was never issued / predates a restart)
+// — the worker's cue that its job may have been re-issued. The worker
+// keeps running regardless: its result stays valid.
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorker(req.Worker)
+	mHeartbeats.Inc()
+	now := c.cfg.now()
+	for i := range c.jobs {
+		l := c.jobs[i].lease
+		if l == nil || l.id != req.LeaseID {
+			continue
+		}
+		if c.jobs[i].done {
+			break
+		}
+		if !now.Before(l.deadline) {
+			break
+		}
+		l.deadline = now.Add(c.cfg.LeaseTTL)
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	mStale.Inc()
+	http.Error(w, "lease expired or unknown", http.StatusGone)
+}
+
+// handleResult answers POST /result. The upload is validated against the
+// manifest, journaled durably, and deduplicated: leases play no part, so
+// stragglers, resumed workers, and restarted coordinators all converge
+// on the same byte stream.
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchWorker(req.Worker)
+	if req.SpecHash != c.cfg.SpecHash {
+		c.rejected++
+		mRejected.Inc()
+		http.Error(w, fmt.Sprintf("spec hash %s does not match manifest %s — the worker ran a different job list",
+			req.SpecHash, c.cfg.SpecHash), http.StatusUnprocessableEntity)
+		return
+	}
+	if req.JobIndex < 0 || req.JobIndex >= len(c.jobs) {
+		c.rejected++
+		mRejected.Inc()
+		http.Error(w, fmt.Sprintf("job index %d out of range [0,%d)", req.JobIndex, len(c.jobs)), http.StatusUnprocessableEntity)
+		return
+	}
+	js := &c.jobs[req.JobIndex]
+	if req.Error != "" {
+		// A terminal worker-side failure fails the campaign: every table
+		// needs every row (fleet.FirstError semantics).
+		if c.failure == nil && !js.done {
+			c.failure = fmt.Errorf("coord: job %s failed on worker %s: %s", js.label, req.Worker, req.Error)
+			close(c.finished)
+		}
+		writeJSON(w, http.StatusOK, ResultReply{Status: "accepted"})
+		return
+	}
+	if len(req.Body) == 0 {
+		c.rejected++
+		mRejected.Inc()
+		http.Error(w, "empty result body", http.StatusUnprocessableEntity)
+		return
+	}
+	if js.done {
+		if string(js.body) != string(req.Body) {
+			c.rejected++
+			mRejected.Inc()
+			http.Error(w, fmt.Sprintf("job %s already journaled with different bytes — non-deterministic worker or corrupted upload", js.label),
+				http.StatusConflict)
+			return
+		}
+		c.dupes++
+		mDuplicates.Inc()
+		writeJSON(w, http.StatusOK, ResultReply{Status: "duplicate"})
+		return
+	}
+	if err := c.journal.Append(checkpoint.JobRecord{
+		Index: req.JobIndex, Label: js.label, Attempts: req.Attempts, Body: req.Body,
+	}); err != nil {
+		// A result that cannot be made durable must not be acknowledged.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	js.done = true
+	js.body = req.Body
+	js.attempts = req.Attempts
+	js.lease = nil
+	c.done++
+	c.touchWorker(req.Worker).Results++
+	mResults.Inc()
+	if c.done == len(c.jobs) {
+		close(c.finished)
+	}
+	writeJSON(w, http.StatusOK, ResultReply{Status: "accepted"})
+}
+
+// readJSON decodes a request body, answering 400 on malformed input.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, 64<<20)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeJSON encodes v with a stable field order.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// SortedWorkers lists a Status's worker IDs deterministically for
+// rendering.
+func (s Status) SortedWorkers() []string {
+	ids := make([]string, 0, len(s.Workers))
+	for id := range s.Workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -247,9 +247,39 @@ func Table5(duration time.Duration) (*report.Table, []Table5Row, error) {
 // Table5Fleet is Table5 with the ten campaigns (VFuzz + ZCover per
 // device) scheduled across a fleet worker pool.
 func Table5Fleet(duration time.Duration, cfg fleet.Config) (*report.Table, []Table5Row, error) {
+	outs, err := runCampaigns("table5", table5Jobs(duration), cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return renderTable5(outs)
+}
+
+// table5Jobs builds Table V's job list: one VFuzz and one ZCover
+// campaign per controller D1–D5. The list (order included) is what the
+// campaign's spec hash fingerprints, so the local checkpoint path and
+// the distributed coordinator provably execute the same sweep.
+func table5Jobs(duration time.Duration) []fleet.Job {
 	if duration <= 0 {
 		duration = 24 * time.Hour
 	}
+	var jobs []fleet.Job
+	for _, idx := range table5Devices {
+		seed := deviceSeed(idx)
+		jobs = append(jobs,
+			fleet.Job{Name: "table5/" + idx + "/vfuzz", Device: idx,
+				Baseline: true, Seed: seed, Budget: duration},
+			fleet.Job{Name: "table5/" + idx + "/zcover", Device: idx,
+				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration})
+	}
+	return jobs
+}
+
+// table5Devices are Table V's controllers, in row order.
+var table5Devices = []string{"D1", "D2", "D3", "D4", "D5"}
+
+// renderTable5 renders Table V from its campaign outcomes (index-aligned
+// with table5Jobs).
+func renderTable5(outs []FleetOutcome) (*report.Table, []Table5Row, error) {
 	out := &report.Table{
 		Title: "Table V: CMDCL coverage and unique vulnerability discovery, VFuzz vs ZCover",
 		Headers: []string{"ID", "VFuzz CMDCL", "VFuzz CMD", "VFuzz #Vul",
@@ -259,20 +289,7 @@ func Table5Fleet(duration time.Duration, cfg fleet.Config) (*report.Table, []Tab
 			"45 known+unknown CMDCLs and the 53 validated commands.",
 		},
 	}
-	devices := []string{"D1", "D2", "D3", "D4", "D5"}
-	var jobs []fleet.Job
-	for _, idx := range devices {
-		seed := deviceSeed(idx)
-		jobs = append(jobs,
-			fleet.Job{Name: "table5/" + idx + "/vfuzz", Device: idx,
-				Baseline: true, Seed: seed, Budget: duration},
-			fleet.Job{Name: "table5/" + idx + "/zcover", Device: idx,
-				Strategy: fuzz.StrategyFull, Seed: seed, Budget: duration})
-	}
-	outs, err := runCampaigns("table5", jobs, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
+	devices := table5Devices
 	var rows []Table5Row
 	for i, idx := range devices {
 		vres := outs[2*i].Baseline

@@ -33,10 +33,21 @@ type Server struct {
 	err  error
 }
 
+// Route mounts an extra handler on the observability mux — the hook
+// subsystems use to surface live state beside the standard endpoints
+// (the campaign coordinator mounts its Status JSON at /coord).
+type Route struct {
+	// Path is the mux pattern ("/coord").
+	Path string
+	// Handler serves it.
+	Handler http.Handler
+}
+
 // NewServer binds addr and starts serving the observability mux. reg nil
 // means the process-wide telemetry default; tl may be nil (the /timeline
-// endpoint then reports an empty snapshot).
-func NewServer(addr string, reg *telemetry.Registry, tl *Timeline) (*Server, error) {
+// endpoint then reports an empty snapshot). Any extra routes are mounted
+// beside the standard endpoints.
+func NewServer(addr string, reg *telemetry.Registry, tl *Timeline, extra ...Route) (*Server, error) {
 	if reg == nil {
 		reg = telemetry.Default()
 	}
@@ -66,6 +77,9 @@ func NewServer(addr string, reg *telemetry.Registry, tl *Timeline) (*Server, err
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	for _, rt := range extra {
+		mux.Handle(rt.Path, rt.Handler)
+	}
 	s := &Server{
 		lis:  lis,
 		srv:  &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},

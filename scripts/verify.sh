@@ -53,13 +53,14 @@ trap 'rm -f "$cover_raw" "$test_status"' EXIT
 # Plain-sh pitfall: `go test | tee` exits with tee's status, so `set -eu`
 # would sail past test failures. Smuggle the real status through a file.
 { go test -race -cover $short ./... || echo "$?" > "$test_status"; } | tee "$cover_raw"
+# CI uploads the raw coverage output as an artifact when asked — copied
+# before the failure check so a red run still leaves the artifact behind.
+if [ -n "${COVER_OUT:-}" ]; then
+    cp "$cover_raw" "$COVER_OUT"
+fi
 if [ -s "$test_status" ]; then
     echo "verify: go test failed (exit $(cat "$test_status"))" >&2
     exit "$(cat "$test_status")"
-fi
-# CI uploads the raw coverage output as an artifact when asked.
-if [ -n "${COVER_OUT:-}" ]; then
-    cp "$cover_raw" "$COVER_OUT"
 fi
 
 echo "== coverage baseline =="
